@@ -1,0 +1,31 @@
+"""A1 ablation — "balancing delay paths" across adder architectures.
+
+The paper's conclusion offers two glitch-reduction levers: balancing
+delay paths and inserting flipflops.  This bench quantifies the first:
+the same 16-bit addition as ripple-carry, carry-select, group
+carry-lookahead and Kogge-Stone prefix.  Expected shape: L/F falls
+monotonically as the architecture gets better balanced.
+"""
+
+from repro.experiments.adder_sweep import (
+    adder_architecture_experiment,
+    format_adder_sweep,
+)
+
+from conftest import vectors
+
+
+def test_ablation_adder_architectures(run_once):
+    n_vectors = vectors(300, 1000)
+    data = run_once(
+        adder_architecture_experiment, n_bits=16, n_vectors=n_vectors
+    )
+
+    print()
+    print(format_adder_sweep(data))
+
+    ratio = {r["architecture"]: r["L/F"] for r in data["rows"]}
+    assert ratio["ripple"] > ratio["carry-select"]
+    assert ratio["ripple"] > ratio["lookahead"] > ratio["kogge-stone"]
+    # The best-balanced architecture keeps glitching below 50% of work.
+    assert ratio["kogge-stone"] < 0.5

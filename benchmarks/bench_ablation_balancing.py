@@ -1,0 +1,45 @@
+"""A4 ablation — balancing delay paths vs inserting flipflops.
+
+The paper's conclusion names both levers; this bench runs them on the
+same ripple-carry adder under the same technology model.
+
+Expected shape:
+* balancing eliminates ALL useless transitions (L/F = 0) — the
+  idealised ``1 + L/F`` bound of Section 4.2 realised exactly;
+* pipelining cuts (but need not eliminate) useless transitions;
+* both pay: buffers add cells and switching, flipflops add FF + clock
+  power.
+"""
+
+from repro.experiments.balance import (
+    balancing_vs_retiming_experiment,
+    format_balance_comparison,
+)
+
+from conftest import vectors
+
+
+def test_ablation_balancing_vs_retiming(run_once):
+    n_vectors = vectors(250, 1000)
+    data = run_once(
+        balancing_vs_retiming_experiment, n_bits=12, n_vectors=n_vectors
+    )
+
+    print()
+    print(format_balance_comparison(data))
+    print(
+        f"static skew of original: mean "
+        f"{data['skew_report']['mean_skew']:.1f}, "
+        f"max {data['skew_report']['max_skew']} "
+        f"({data['buffers_inserted']} buffers inserted to balance)"
+    )
+
+    rows = data["rows"]
+    assert rows["original"]["useless"] > 0
+    assert rows["balanced"]["useless"] == 0  # perfect balancing
+    assert rows["balanced"]["L/F"] == 0.0
+    assert rows["pipelined"]["useless"] < rows["original"]["useless"]
+    # Both levers cost something.
+    assert rows["balanced"]["cells"] > rows["original"]["cells"]
+    assert rows["pipelined"]["flipflops"] > 0
+    assert rows["balanced"]["area_mm2"] > rows["original"]["area_mm2"]

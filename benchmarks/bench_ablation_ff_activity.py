@@ -1,0 +1,44 @@
+"""A3 ablation — the paper's 50% flipflop-activity assumption.
+
+Footnote 1: "It is realistic to assume that on average the input of a
+flipflop in the circuit is constant for about 50% of the time".  The
+paper multiplies a pre-characterised single-FF power (at that activity)
+by the FF count.  This bench measures the actual mean D-input toggle
+probability across all flipflops of the pipelined direction detector.
+
+Expected shape: the measured activity sits in the same band as the
+assumption (tenths, not percents), so the linear-in-count FF power
+model is justified.
+"""
+
+from repro.core.report import format_table
+from repro.experiments.retiming_power import ff_activity_experiment
+
+from conftest import vectors
+
+
+def test_ablation_ff_activity(run_once):
+    n_vectors = vectors(100, 400)
+    data = run_once(
+        ff_activity_experiment, stages=(0, 2, 4), n_vectors=n_vectors
+    )
+
+    print()
+    print(
+        format_table(
+            ["extra stages", "flipflops", "mean D activity"],
+            [
+                [r["extra_stages"], r["flipflops"], r["mean_d_activity"]]
+                for r in data["rows"]
+            ],
+            title=f"Measured FF input activity (assumed: {data['assumed']})",
+        )
+    )
+
+    for row in data["rows"]:
+        assert 0.2 < row["mean_d_activity"] < 0.8, (
+            "measured FF activity should be the same order as the 50% "
+            "assumption"
+        )
+    ffs = [r["flipflops"] for r in data["rows"]]
+    assert ffs == sorted(ffs)

@@ -1,0 +1,41 @@
+"""A2 ablation — the paper's random-input premise (Section 3.2).
+
+The paper argues multiplexing and source coding destroy signal
+correlation, so random inputs model practice.  This bench sweeps a
+lag-one correlated stream from fully random (flip probability 0.5)
+down to strongly correlated (0.02) on the 8x8 multipliers.
+
+Expected shape: total activity falls with correlation, but the
+architecture ordering (array glitches more than Wallace) persists at
+every correlation level — the paper's conclusions are robust to the
+random-input assumption.
+"""
+
+from repro.experiments.multipliers import correlation_experiment, format_rows
+
+from conftest import vectors
+
+
+def test_ablation_input_correlation(run_once):
+    n_vectors = vectors(200, 500)
+    data = run_once(
+        correlation_experiment,
+        n_vectors=n_vectors,
+        flip_probabilities=(0.5, 0.25, 0.1, 0.02),
+    )
+
+    print()
+    print(format_rows(data, "Input correlation sweep (flip prob 0.5 = random)"))
+
+    rows = data["rows"]
+    for arch in ("array", "wallace"):
+        series = [r for r in rows if r["architecture"] == arch]
+        totals = [r["total"] for r in series]
+        assert totals == sorted(totals, reverse=True), (
+            "activity must fall with correlation"
+        )
+    by_fp = {}
+    for r in rows:
+        by_fp.setdefault(r["flip_probability"], {})[r["architecture"]] = r
+    for fp, pair in by_fp.items():
+        assert pair["array"]["L/F"] > pair["wallace"]["L/F"], fp

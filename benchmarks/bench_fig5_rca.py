@@ -1,0 +1,41 @@
+"""E1 — paper Figure 5: per-bit useful/useless transitions of a 16-bit
+ripple-carry adder under random inputs.
+
+Paper reference values (16 bits, 4000 inputs): 119002 total, 63334
+useful, 55668 useless, L/F = 0.88.  The closed-form model (eqs. 2-7)
+reproduces those exactly; the simulation must agree with the model
+within sampling noise.
+"""
+
+import pytest
+
+from repro.experiments.rca import figure5_experiment, format_figure5
+
+from conftest import vectors
+
+
+def test_fig5_rca(run_once):
+    n_vectors = vectors(1000, 4000)
+    data = run_once(figure5_experiment, n_bits=16, n_vectors=n_vectors)
+
+    print()
+    print(format_figure5(data))
+    sim, ana = data["simulated"], data["analytic"]
+    print(
+        f"\ntotals   simulated: {sim['total']} / {sim['useful']} / "
+        f"{sim['useless']}  L/F={sim['L/F']}"
+    )
+    print(
+        f"totals   analytic : {ana['total']:.0f} / {ana['useful']:.0f} / "
+        f"{ana['useless']:.0f}  L/F={ana['L/F']:.2f}"
+    )
+    print("totals   paper    : 119002 / 63334 / 55668  L/F=0.88 (at 4000)")
+
+    # Shape assertions: simulation agrees with the closed forms, which
+    # agree with the paper.
+    assert data["total_rel_error"] < 0.05
+    assert sim["L/F"] == pytest.approx(0.88, abs=0.08)
+    assert ana["L/F"] == pytest.approx(0.88, abs=0.01)
+    # Per-bit profile: bit 0 sum never glitches; high bits do.
+    assert data["per_bit"][0]["sum_useless_sim"] == 0
+    assert data["per_bit"][15]["sum_useless_sim"] > 0.5 * n_vectors

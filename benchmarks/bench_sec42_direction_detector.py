@@ -1,0 +1,44 @@
+"""E4 — paper Section 4.2: direction-detector transition activity.
+
+Paper values (unit delay, 4320 random inputs): 272842 useful, 1033970
+useless, L/F = 3.79, balanced-activity reduction bound 1 + 3.79 = 4.8.
+
+Shape: the reconstruction must be firmly in the glitch-dominated
+regime (L/F >> 1), with every abs-difference stage contributing.
+"""
+
+import pytest
+
+from repro.core.report import format_table
+from repro.experiments.detector import section42_experiment
+
+from conftest import vectors
+
+
+def test_sec42_direction_detector(run_once):
+    n_vectors = vectors(600, 4320)
+    data = run_once(section42_experiment, n_vectors=n_vectors)
+
+    print()
+    print(
+        format_table(
+            ["metric", "repro", "paper"],
+            [
+                ["useful", data["useful"], data["paper"]["useful"]],
+                ["useless", data["useless"], data["paper"]["useless"]],
+                ["L/F", data["L/F"], data["paper"]["L/F"]],
+                [
+                    "reduction bound",
+                    data["reduction_bound"],
+                    data["paper"]["reduction_bound"],
+                ],
+            ],
+            title=f"Section 4.2 — {n_vectors} random inputs",
+        )
+    )
+
+    assert data["L/F"] > 2.5  # paper: 3.79; ours lands ~4.1
+    assert data["L/F"] < 8.0
+    assert data["reduction_bound"] == pytest.approx(1 + data["L/F"])
+    for stage in data["per_stage"].values():
+        assert stage["useless"] > stage["useful"]  # every ripple stage glitches

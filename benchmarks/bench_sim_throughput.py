@@ -1,0 +1,31 @@
+"""Infrastructure benchmark — raw event-driven simulation throughput.
+
+Not a paper artefact: this one actually uses pytest-benchmark's
+statistics (multiple rounds) to track the simulator's speed on the
+16x16 array multiplier, the heaviest netlist in the reproduction.
+Useful for catching performance regressions in the hot loop.
+"""
+
+import random
+
+from repro.circuits.multipliers import build_multiplier_circuit
+from repro.sim.engine import Simulator
+from repro.sim.vectors import WordStimulus
+
+
+def test_sim_throughput_array16(benchmark):
+    circuit, ports = build_multiplier_circuit(16, "array")
+    stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+    rng = random.Random(42)
+    vectors = [dict(v) for v in stim.random(rng, 21)]
+
+    def run_20_cycles():
+        sim = Simulator(circuit)
+        sim.settle(vectors[0])
+        total = 0
+        for vec in vectors[1:]:
+            total += sim.step(vec).total_toggles()
+        return total
+
+    total = benchmark(run_20_cycles)
+    assert total > 0

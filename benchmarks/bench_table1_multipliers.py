@@ -1,0 +1,42 @@
+"""E2 — paper Table 1: array vs Wallace-tree multipliers, unit delay.
+
+Paper values (500 random inputs):
+
+    | arch    | size  | total  | useful | useless | L/F  |
+    | array   | 8x8   | 58858  | 23418  | 35440   | 1.51 |
+    | array   | 16x16 | 438575 | 102845 | 335730  | 3.26 |
+    | wallace | 8x8   | 50824  | 39608  | 11216   | 0.28 |
+    | wallace | 16x16 | 200380 | 173330 | 27050   | 0.16 |
+
+Shape requirements: the array's useless count and L/F dwarf the
+Wallace tree's at both sizes, and the array degrades with size.
+"""
+
+from repro.experiments.multipliers import format_rows, table1_experiment
+
+from conftest import vectors
+
+
+def test_table1_multipliers(run_once):
+    n_vectors = vectors(200, 500)
+    data = run_once(table1_experiment, n_vectors=n_vectors)
+
+    print()
+    print(format_rows(data, f"Table 1 — unit delay, {n_vectors} inputs"))
+    print("paper: array 1.51 / 3.26; wallace 0.28 / 0.16 (L/F)")
+
+    rows = {(r["architecture"], r["size"]): r for r in data["rows"]}
+    for size in ("8x8", "16x16"):
+        assert (
+            rows[("array", size)]["L/F"] > 2.5 * rows[("wallace", size)]["L/F"]
+        )
+        assert (
+            rows[("array", size)]["useless"]
+            > 2 * rows[("wallace", size)]["useless"]
+        )
+    assert rows[("array", "16x16")]["L/F"] > rows[("array", "8x8")]["L/F"]
+    # Wallace has at least comparable useful work (more gates, more F).
+    assert (
+        rows[("wallace", "16x16")]["useful"]
+        > rows[("array", "16x16")]["useful"]
+    )

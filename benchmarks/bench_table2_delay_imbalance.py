@@ -1,0 +1,39 @@
+"""E3 — paper Table 2: realistic full-adder timing dsum = 2 * dcarry.
+
+Paper values (8x8, 500 random inputs):
+
+    |          | array             | wallace           |
+    | delay    | d=d     d=2d      | d=d     d=2d      |
+    | useful F | 23552   23552     | 38786   38786     |
+    | useless L| 34346   47340     | 11274   24762     |
+    | L/F      | 1.46    2.01      | 0.29    0.64      |
+
+Shape: doubling the sum delay inflates useless activity in both
+architectures while leaving useful counts untouched, and the array
+stays far worse than the Wallace tree.
+"""
+
+from repro.experiments.multipliers import format_rows, table2_experiment
+
+from conftest import vectors
+
+
+def test_table2_delay_imbalance(run_once):
+    n_vectors = vectors(200, 500)
+    data = run_once(table2_experiment, n_vectors=n_vectors)
+
+    print()
+    print(format_rows(data, f"Table 2 — 8x8, {n_vectors} inputs"))
+    print("paper L/F: array 1.46 -> 2.01, wallace 0.29 -> 0.64")
+
+    rows = {(r["architecture"], r["delay"]): r for r in data["rows"]}
+    for arch in ("array", "wallace"):
+        balanced = rows[(arch, "dsum=dcarry")]
+        skewed = rows[(arch, "dsum=2*dcarry")]
+        assert skewed["useful"] == balanced["useful"]
+        assert skewed["useless"] > 1.2 * balanced["useless"]
+        assert skewed["L/F"] > balanced["L/F"]
+    assert (
+        rows[("array", "dsum=2*dcarry")]["useless"]
+        > rows[("wallace", "dsum=2*dcarry")]["useless"]
+    )

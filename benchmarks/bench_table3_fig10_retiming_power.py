@@ -1,0 +1,53 @@
+"""E5 — paper Table 3 + Figure 10: the optimum retiming for power.
+
+Paper values (four direction-detector layouts at 5 MHz):
+
+    | circuit        | 1    | 2    | 3    | 4    |
+    | flipflops      | 48   | 174  | 218  | 350  |
+    | clock cap (pF) | 3.2  | 10.5 | 12.8 | 19.9 |
+    | logic (mW)     | 21.8 | 9.7  | 7.5  | 6.1  |
+    | flipflop (mW)  | 0.9  | 3.3  | 4.1  | 6.6  |
+    | clock (mW)     | 0.5  | 1.5  | 1.8  | 2.8  |
+    | total (mW)     | 23.2 | 14.5 | 13.4 | 15.5 |
+
+Shape requirements reproduced here: logic power falls monotonically
+(~3.6x first to last in the paper), flipflop and clock power rise with
+the flipflop count, and the TOTAL power has an interior minimum —
+i.e. an optimum retiming frequency for power exists (Figure 10).
+"""
+
+from repro.experiments.retiming_power import format_table3, table3_experiment
+
+from conftest import vectors
+
+
+def test_table3_fig10_retiming_power(run_once):
+    n_vectors = vectors(120, 500)
+    data = run_once(
+        table3_experiment, stages=(0, 1, 2, 4), n_vectors=n_vectors
+    )
+
+    print()
+    print(format_table3(data))
+    print(
+        "paper: logic 21.8->6.1 mW (3.6x), total minimum at circuit 3 "
+        "(218 FFs)"
+    )
+
+    rows = data["rows"]
+    assert rows[0]["flipflops"] == 48  # paper circuit 1 exactly
+
+    logic = [r["logic_mW"] for r in rows]
+    assert all(a > b for a, b in zip(logic, logic[1:]))
+    assert data["logic_power_ratio_first_to_last"] > 2.0
+
+    for key in ("flipflop_mW", "clock_mW", "flipflops", "area_mm2"):
+        series = [r[key] for r in rows]
+        assert all(a < b for a, b in zip(series, series[1:])), key
+
+    totals = [r["total_mW"] for r in rows]
+    idx = data["optimum_index"]
+    assert totals[idx] == min(totals)
+    assert 0 < idx, "minimum must be interior (deeper than circuit 1)"
+    # Glitch activity collapses with pipelining depth.
+    assert rows[-1]["L/F"] < rows[0]["L/F"]

@@ -1,0 +1,45 @@
+"""E6 — paper Section 3.1 / Figure 3: the worst-case ripple.
+
+The constructive stimulus (alternating generate/kill previous operands,
+all-propagate new operands) makes the top carry C_N and sum S_{N-1}
+toggle exactly N times in a single clock cycle; the probability of
+hitting this with random inputs is 3 * (1/8)^N — negligible already for
+small N, which is why the paper turns to average-case analysis.
+"""
+
+from repro.core.report import format_table
+from repro.experiments.rca import worst_case_experiment
+
+from conftest import paper_scale
+
+
+def test_worst_case_rca(run_once):
+    sizes = (4, 8, 16, 24) if paper_scale() else (4, 8, 16)
+
+    def sweep():
+        return [worst_case_experiment(n) for n in sizes]
+
+    results = run_once(sweep)
+
+    print()
+    print(
+        format_table(
+            ["N", "C_N toggles", "S_{N-1} toggles", "bound", "P[random]"],
+            [
+                [
+                    r["n_bits"],
+                    r["top_carry_toggles"],
+                    r["top_sum_toggles"],
+                    r["bound"],
+                    f"{r['probability']:.3g}",
+                ]
+                for r in results
+            ],
+            title="Worst-case ripple (paper Section 3.1)",
+        )
+    )
+
+    for r in results:
+        assert r["top_carry_toggles"] == r["bound"] == r["n_bits"]
+        assert r["top_sum_toggles"] == r["n_bits"]
+        assert r["probability"] == 3 * (1 / 8) ** r["n_bits"]

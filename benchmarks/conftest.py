@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper.  By
+default the vector counts are reduced so the whole suite runs in a few
+minutes; set ``REPRO_PAPER_SCALE=1`` to use the paper's exact workload
+sizes (4000 inputs for Figure 5, 500 for Tables 1-2, 4320 for the
+direction detector).
+
+Benchmarks run once per measurement (``rounds=1``) — the quantities of
+interest are the regenerated table rows, which are printed (visible
+with ``pytest -s``) and shape-checked with assertions; wall-clock time
+is reported by pytest-benchmark as a by-product.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0")
+
+
+def vectors(reduced: int, full: int) -> int:
+    """Pick the workload size for the current scale."""
+    return full if paper_scale() else reduced
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,67 @@
+"""Sequential datapath example: glitch power of a transposed FIR filter.
+
+FIR filters are the arithmetic-in-a-multiplexed-environment workload
+the paper's Section 3.2 motivates.  This example builds a transposed
+direct-form FIR (shift-add constant multipliers, ripple adders,
+inter-tap registers), measures its transition-activity split on a
+random input stream, then pipelines it one stage deeper and shows the
+paper's trade: useless transitions collapse, flipflop/clock power rises.
+
+Run:  python examples/fir_filter_power.py [n_vectors]
+"""
+
+import random
+import sys
+
+from repro import WordStimulus, analyze, estimate_power, format_table
+from repro.circuits.datapath import transposed_fir
+from repro.retime.pipeline import pipeline_circuit
+
+
+def measure(circuit, vectors, frequency=5e6):
+    activity = analyze(circuit, iter(vectors))
+    power = estimate_power(circuit, activity, frequency)
+    s = activity.summary()
+    mw = power.as_milliwatts()
+    return [
+        s["useful"], s["useless"], s["L/F"],
+        circuit.num_flipflops,
+        mw["logic_mW"], mw["flipflop_mW"], mw["clock_mW"], mw["total_mW"],
+    ]
+
+
+def main() -> None:
+    n_vectors = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    width, coeffs = 8, (3, 5, 7, 2)
+
+    base, ports = transposed_fir(width, coeffs)
+    stim = WordStimulus({"x": ports["x"]})
+    vectors = [dict(v) for v in stim.random(random.Random(1995), n_vectors + 1)]
+
+    rows = [["original"] + measure(base, vectors)]
+    for stages in (1, 2):
+        deep = pipeline_circuit(base, stages)
+        rows.append([f"+{stages} stage(s)"] + measure(deep.circuit, vectors))
+
+    print(
+        format_table(
+            [
+                "variant", "useful", "useless", "L/F", "FFs",
+                "logic mW", "FF mW", "clock mW", "total mW",
+            ],
+            rows,
+            title=(
+                f"Transposed FIR, {len(coeffs)} taps x {width} bits, "
+                f"{n_vectors} random samples @ 5 MHz"
+            ),
+        )
+    )
+    print(
+        "\nPipelining the tap adders removes most glitch activity from the"
+        "\nripple chains while flipflop and clock power grow — the same"
+        "\ntrade the paper's Table 3 measures on the direction detector."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: count useful vs useless transitions in a multiplier.
+
+Builds an 8x8 carry-save array multiplier and a Wallace-tree
+multiplier, simulates both with 500 random input pairs under the
+paper's unit-delay model, and prints the transition-activity split —
+a miniature of paper Table 1.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import WordStimulus, analyze, build_multiplier_circuit, format_table
+
+
+def main() -> None:
+    rows = []
+    for architecture in ("array", "wallace"):
+        circuit, ports = build_multiplier_circuit(8, architecture)
+        stimulus = WordStimulus({"x": ports["x"], "y": ports["y"]})
+        vectors = stimulus.random(random.Random(1995), 501)  # 1 warm-up + 500
+        result = analyze(circuit, vectors)
+        summary = result.summary()
+        rows.append(
+            [
+                architecture,
+                summary["total"],
+                summary["useful"],
+                summary["useless"],
+                summary["L/F"],
+                summary["reduction_bound"],
+            ]
+        )
+    print(
+        format_table(
+            ["architecture", "total", "useful F", "useless L", "L/F", "1+L/F"],
+            rows,
+            title="8x8 multiplier transition activity, 500 random inputs",
+        )
+    )
+    print(
+        "\nThe delay-unbalanced array multiplier wastes most of its"
+        " transitions on glitches; the balanced Wallace tree does not"
+        " (paper Table 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Flagship domain example: progressive scan conversion with power audit.
+
+This is the application the paper's direction detector lives in
+(Phideo, [paper ref. 6]): de-interlacing video by interpolating the
+missing lines along detected edge directions.  The example
+
+1. synthesises a moving diagonal-edge field sequence,
+2. de-interlaces every field through the *gate-level* detector netlist,
+3. renders one field and its de-interlaced frame as ASCII art,
+4. reports the transition-activity split and the estimated power of
+   the scan — connecting the application workload to the paper's
+   glitch numbers.
+
+Run:  python examples/video_scan_conversion.py
+"""
+
+from repro import estimate_power, format_table
+from repro.circuits.direction_detector import build_direction_detector
+from repro.video.frames import moving_sequence
+from repro.video.scan import deinterlace_frame
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_image(rows, title: str) -> str:
+    lines = [title]
+    for row in rows:
+        lines.append(
+            "".join(_SHADES[min(p, 255) * (len(_SHADES) - 1) // 255] for p in row)
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    fields = moving_sequence(
+        width=48, height=10, n_fields=2, slope=1.2, velocity=5, noise=3
+    )
+
+    merged_activity = None
+    histogram = {0: 0, 1: 0, 2: 0}
+    last_frame = None
+    for field in fields:
+        frame, activity, hist = deinterlace_frame(field)
+        last_frame = (field, frame)
+        for k, v in hist.items():
+            histogram[k] += v
+        if merged_activity is None:
+            merged_activity = activity
+        else:
+            merged_activity.merge(activity)
+
+    assert last_frame is not None and merged_activity is not None
+    field, frame = last_frame
+    print(ascii_image(field, "interlaced field (one of two):"))
+    print()
+    print(ascii_image(frame, "de-interlaced frame (detector-directed):"))
+
+    print()
+    print(
+        format_table(
+            ["direction", "decisions"],
+            [
+                ["left diagonal", histogram[0]],
+                ["vertical (default)", histogram[1]],
+                ["right diagonal", histogram[2]],
+            ],
+            title="direction decisions across the sequence",
+        )
+    )
+
+    summary = merged_activity.summary()
+    circuit, _ = build_direction_detector()
+    power = estimate_power(circuit, merged_activity, frequency=5e6)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["interpolation sites", summary["cycles"]],
+                ["useful transitions", summary["useful"]],
+                ["useless transitions (glitches)", summary["useless"]],
+                ["L/F", summary["L/F"]],
+                ["balanced-activity bound 1+L/F", summary["reduction_bound"]],
+                ["logic power @ 5 MHz (mW)", power.as_milliwatts()["logic_mW"]],
+            ],
+            title="transition activity of the scan (paper Sec. 4.2 metric)",
+        )
+    )
+    print(
+        "\nEven on structured video the ripple datapath spends most of its"
+        "\ntransitions on glitches — the paper's motivation for retiming."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The reference environment is offline and lacks the ``wheel`` package,
+so ``pip install -e .`` must use the classic ``setup.py develop`` path
+instead of PEP 517/660.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,251 @@
+"""Adder architectures.
+
+:func:`ripple_carry_adder` is the paper's Section 3 object of study —
+N cascaded full-adder stages whose carry chain is the canonical
+unbalanced delay path.  The other architectures (carry-lookahead,
+carry-select, Kogge–Stone prefix) implement the same function with
+progressively better-balanced paths and exist for the architecture
+ablation: the paper's thesis predicts their glitch activity ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.circuits.primitives import full_adder, full_adder_gates, half_adder
+
+
+def ripple_carry_adder(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: int | None = None,
+    prefix: str = "rca",
+    gate_level: bool = False,
+) -> Tuple[List[int], List[int]]:
+    """N-stage ripple-carry adder.
+
+    Returns ``(sums, carries)`` where ``sums[i]`` is ``S_i`` and
+    ``carries[i]`` is ``C_{i+1}`` (so ``carries[-1]`` is the adder's
+    carry out ``C_N``) — exactly the signals of the paper's Figure 3.
+
+    With *cin* ``None`` the first stage is a half adder (no carry-in
+    pin); *gate_level* selects the XOR/AND/OR decomposition instead of
+    FA cells.
+    """
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    if not a:
+        raise ValueError("adder must have at least one bit")
+    sums: List[int] = []
+    carries: List[int] = []
+    carry = cin
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        if carry is None:
+            s, carry = half_adder(circuit, ai, bi, name=f"{prefix}_ha{i}")
+        elif gate_level:
+            s, carry = full_adder_gates(circuit, ai, bi, carry, f"{prefix}_fa{i}")
+        else:
+            s, carry = full_adder(circuit, ai, bi, carry, name=f"{prefix}_fa{i}")
+        sums.append(s)
+        carries.append(carry)
+    return sums, carries
+
+
+def build_rca_circuit(
+    n_bits: int,
+    with_cin: bool = True,
+    gate_level: bool = False,
+    name: str | None = None,
+) -> tuple[Circuit, dict]:
+    """A standalone RCA circuit with named ports.
+
+    Returns ``(circuit, ports)`` where ports holds the ``a``, ``b``
+    input words, optional ``cin``, and the ``sums`` / ``carries``
+    output words (used by the Figure 5 experiment to monitor exactly
+    the paper's S and C signals).
+    """
+    circuit = Circuit(name or f"rca{n_bits}")
+    a = circuit.add_input_word("a", n_bits)
+    b = circuit.add_input_word("b", n_bits)
+    cin = circuit.add_input("cin") if with_cin else None
+    sums, carries = ripple_carry_adder(
+        circuit, a, b, cin, gate_level=gate_level
+    )
+    circuit.mark_output_word(sums, "s")
+    circuit.mark_output(carries[-1], "cout")
+    ports = {"a": a, "b": b, "cin": cin, "sums": sums, "carries": carries}
+    return circuit, ports
+
+
+# ----------------------------------------------------------------------
+# architectures for the balancing ablation
+# ----------------------------------------------------------------------
+def carry_lookahead_adder(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    cin: int | None = None,
+    group: int = 4,
+    prefix: str = "cla",
+) -> Tuple[List[int], int]:
+    """Group carry-lookahead adder; returns ``(sums, carry_out)``.
+
+    Within each *group*-bit block the carries are computed as two-level
+    AND-OR lookahead from generate/propagate; blocks are chained
+    ripple-fashion (the classic 74x283-style structure).
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    n = len(a)
+    sums: List[int] = []
+    if cin is None:
+        zero = circuit.add_cell(CellKind.CONST0, [], name=f"{prefix}_c0").outputs[0]
+        cin = zero
+    carry = cin
+    for base in range(0, n, group):
+        hi = min(base + group, n)
+        g = [
+            circuit.gate(CellKind.AND, a[i], b[i], name=f"{prefix}_g{i}")
+            for i in range(base, hi)
+        ]
+        p = [
+            circuit.gate(CellKind.XOR, a[i], b[i], name=f"{prefix}_p{i}")
+            for i in range(base, hi)
+        ]
+        carries = [carry]
+        for k in range(len(g)):
+            # c_{k+1} = g_k + p_k g_{k-1} + ... + p_k..p_0 c_in,
+            # each product term as one wide AND (true two-level lookahead).
+            terms = [g[k]]
+            for j in range(k - 1, -1, -1):
+                terms.append(
+                    circuit.gate(
+                        CellKind.AND, g[j], *p[j + 1 : k + 1],
+                        name=f"{prefix}_t{base + k}_{j}",
+                    )
+                )
+            terms.append(
+                circuit.gate(
+                    CellKind.AND, carries[0], *p[: k + 1],
+                    name=f"{prefix}_cc{base + k}",
+                )
+            )
+            ck = circuit.gate(
+                CellKind.OR, *terms, name=f"{prefix}_c{base + k + 1}"
+            )
+            carries.append(ck)
+        for k in range(len(g)):
+            sums.append(
+                circuit.gate(
+                    CellKind.XOR, p[k], carries[k], name=f"{prefix}_s{base + k}"
+                )
+            )
+        carry = carries[-1]
+    return sums, carry
+
+
+def carry_select_adder(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    block: int = 4,
+    prefix: str = "csel",
+) -> Tuple[List[int], int]:
+    """Carry-select adder; returns ``(sums, carry_out)``.
+
+    Each block computes both carry-in hypotheses with two ripple chains
+    and muxes on the actual block carry — shorter worst-case paths than
+    a flat RCA at the cost of duplicated hardware.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    n = len(a)
+    zero = circuit.add_cell(CellKind.CONST0, [], name=f"{prefix}_z").outputs[0]
+    one = circuit.add_cell(CellKind.CONST1, [], name=f"{prefix}_o").outputs[0]
+    sums: List[int] = []
+    carry: int | None = None
+    for base in range(0, n, block):
+        hi = min(base + block, n)
+        aa, bb = a[base:hi], b[base:hi]
+        if carry is None:
+            s, cs = ripple_carry_adder(
+                circuit, aa, bb, zero, prefix=f"{prefix}_b{base}"
+            )
+            sums.extend(s)
+            carry = cs[-1]
+            continue
+        s0, c0 = ripple_carry_adder(
+            circuit, aa, bb, zero, prefix=f"{prefix}_b{base}h0"
+        )
+        s1, c1 = ripple_carry_adder(
+            circuit, aa, bb, one, prefix=f"{prefix}_b{base}h1"
+        )
+        for k in range(len(aa)):
+            sums.append(
+                circuit.gate(
+                    CellKind.MUX2, carry, s0[k], s1[k],
+                    name=f"{prefix}_m{base + k}",
+                )
+            )
+        carry = circuit.gate(
+            CellKind.MUX2, carry, c0[-1], c1[-1], name=f"{prefix}_mc{base}"
+        )
+    assert carry is not None
+    return sums, carry
+
+
+def kogge_stone_adder(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "ks",
+) -> Tuple[List[int], int]:
+    """Kogge–Stone parallel-prefix adder; returns ``(sums, carry_out)``.
+
+    Log-depth, fully balanced prefix network — the best-balanced
+    architecture in the ablation, hence (per the paper's thesis) the
+    least glitchy.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    n = len(a)
+    g = [
+        circuit.gate(CellKind.AND, a[i], b[i], name=f"{prefix}_g0_{i}")
+        for i in range(n)
+    ]
+    p = [
+        circuit.gate(CellKind.XOR, a[i], b[i], name=f"{prefix}_p0_{i}")
+        for i in range(n)
+    ]
+    gk, pk = list(g), list(p)
+    dist = 1
+    level = 1
+    while dist < n:
+        new_g, new_p = list(gk), list(pk)
+        for i in range(dist, n):
+            t = circuit.gate(
+                CellKind.AND, pk[i], gk[i - dist],
+                name=f"{prefix}_t{level}_{i}",
+            )
+            new_g[i] = circuit.gate(
+                CellKind.OR, gk[i], t, name=f"{prefix}_g{level}_{i}"
+            )
+            new_p[i] = circuit.gate(
+                CellKind.AND, pk[i], pk[i - dist],
+                name=f"{prefix}_p{level}_{i}",
+            )
+        gk, pk = new_g, new_p
+        dist *= 2
+        level += 1
+    # carries: c_{i+1} = G[0..i]; sum_i = p_i ^ c_i with c_0 = 0
+    sums = [p[0]]
+    for i in range(1, n):
+        sums.append(
+            circuit.gate(
+                CellKind.XOR, p[i], gk[i - 1], name=f"{prefix}_s{i}"
+            )
+        )
+    return sums, gk[n - 1]

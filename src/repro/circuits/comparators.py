@@ -1,0 +1,159 @@
+"""Comparators, min/max selection and absolute difference.
+
+These are the building blocks of the direction detector (paper
+Figure 8).  They are deliberately built in the ripple style that was
+standard for compact 1995-era datapaths — LSB-to-MSB comparator chains
+and ripple subtractors — because the paper's Section 4.2 point is
+precisely that such units have strongly unbalanced paths and therefore
+high glitch activity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.circuits.primitives import full_adder, reduce_tree
+
+
+def greater_than(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "gt",
+) -> int:
+    """Ripple magnitude comparator: one net that is 1 iff ``a > b``.
+
+    Scans LSB to MSB with the recurrence
+    ``gt_i = a_i & ~b_i  |  (a_i XNOR b_i) & gt_{i-1}``
+    so higher bits override lower ones; the resulting chain is as
+    unbalanced as a ripple carry.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    gt: int | None = None
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        nb = circuit.gate(CellKind.NOT, bi, name=f"{prefix}_nb{i}")
+        here = circuit.gate(CellKind.AND, ai, nb, name=f"{prefix}_w{i}")
+        if gt is None:
+            gt = here
+        else:
+            eq = circuit.gate(CellKind.XNOR, ai, bi, name=f"{prefix}_e{i}")
+            keep = circuit.gate(CellKind.AND, eq, gt, name=f"{prefix}_k{i}")
+            gt = circuit.gate(CellKind.OR, here, keep, name=f"{prefix}_g{i}")
+    assert gt is not None
+    return gt
+
+
+def equality(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "eq",
+) -> int:
+    """One net that is 1 iff ``a == b`` (XNOR bits, balanced AND tree)."""
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    bits = [
+        circuit.gate(CellKind.XNOR, ai, bi, name=f"{prefix}_x{i}")
+        for i, (ai, bi) in enumerate(zip(a, b))
+    ]
+    if len(bits) == 1:
+        return bits[0]
+    return reduce_tree(circuit, CellKind.AND, bits, prefix=f"{prefix}_and")
+
+
+def mux_word(
+    circuit: Circuit,
+    sel: int,
+    when0: Sequence[int],
+    when1: Sequence[int],
+    prefix: str = "mux",
+) -> List[int]:
+    """Bitwise 2:1 word multiplexer: *when0* if ``sel == 0`` else *when1*."""
+    if len(when0) != len(when1):
+        raise ValueError("mux operand widths differ")
+    return [
+        circuit.gate(
+            CellKind.MUX2, sel, w0, w1, name=f"{prefix}_{i}"
+        )
+        for i, (w0, w1) in enumerate(zip(when0, when1))
+    ]
+
+
+def min_max(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "mm",
+) -> Tuple[List[int], List[int], int]:
+    """``(min, max, a_gt_b)`` of two unsigned words."""
+    gt = greater_than(circuit, a, b, prefix=f"{prefix}_gt")
+    lo = mux_word(circuit, gt, a, b, prefix=f"{prefix}_lo")
+    hi = mux_word(circuit, gt, b, a, prefix=f"{prefix}_hi")
+    return lo, hi, gt
+
+
+def minimum(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "min",
+) -> Tuple[List[int], int]:
+    """``(min(a, b), a_gt_b)`` — builds only the min-side selector."""
+    gt = greater_than(circuit, a, b, prefix=f"{prefix}_gt")
+    return mux_word(circuit, gt, a, b, prefix=f"{prefix}_lo"), gt
+
+
+def maximum(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "max",
+) -> Tuple[List[int], int]:
+    """``(max(a, b), a_gt_b)`` — builds only the max-side selector."""
+    gt = greater_than(circuit, a, b, prefix=f"{prefix}_gt")
+    return mux_word(circuit, gt, b, a, prefix=f"{prefix}_hi"), gt
+
+
+def subtractor(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "sub",
+) -> Tuple[List[int], int]:
+    """Ripple borrow-free subtractor: ``a - b`` as ``a + ~b + 1``.
+
+    Returns ``(difference, no_borrow)`` where *no_borrow* (the ripple
+    carry out) is 1 iff ``a >= b``.
+    """
+    if len(a) != len(b) or not a:
+        raise ValueError("bad operand widths")
+    one = circuit.add_cell(CellKind.CONST1, [], name=f"{prefix}_one")
+    carry = one.outputs[0]
+    diff: List[int] = []
+    for i, (ai, bi) in enumerate(zip(a, b)):
+        nb = circuit.gate(CellKind.NOT, bi, name=f"{prefix}_nb{i}")
+        s, carry = full_adder(circuit, ai, nb, carry, name=f"{prefix}_fa{i}")
+        diff.append(s)
+    return diff, carry
+
+
+def abs_diff(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str = "ad",
+) -> List[int]:
+    """Absolute difference ``|a - b|`` of two unsigned words.
+
+    Computes both ``a - b`` and ``b - a`` with ripple subtractors and
+    selects the non-negative one on the first subtractor's carry out —
+    the compact dual-subtractor structure whose long ripple chains feed
+    the direction detector's glitch activity.
+    """
+    d_ab, a_ge_b = subtractor(circuit, a, b, prefix=f"{prefix}_ab")
+    d_ba, _ = subtractor(circuit, b, a, prefix=f"{prefix}_ba")
+    # a_ge_b == 1 selects a - b.
+    return mux_word(circuit, a_ge_b, d_ba, d_ab, prefix=f"{prefix}_sel")

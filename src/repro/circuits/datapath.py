@@ -1,0 +1,151 @@
+"""Sequential DSP datapaths: constant multipliers, MAC, transposed FIR.
+
+The paper's Section 5 argument is about *synchronous* networks — the
+registers are part of the design, and retiming relocates them.  The
+multiplier/detector experiments pipeline purely combinational blocks;
+these generators provide genuinely sequential test cases:
+
+* :func:`constant_multiplier` — shift-add multiplication by a fixed
+  coefficient (the standard fixed-coefficient datapath idiom);
+* :func:`mac_unit` — multiplier + accumulator register (a loop: the
+  retiming graph is cyclic, so minimum-period retiming is bounded by
+  the loop's delay-to-register ratio);
+* :func:`transposed_fir` — a transposed direct-form FIR filter whose
+  inter-tap registers are the textbook retiming example: the adder
+  chain between registers can be rebalanced without adding latency.
+
+All arithmetic is unsigned modulo ``2^width`` (sufficient for activity
+and retiming experiments; golden models in the tests mirror that).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuits.adders import ripple_carry_adder
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.circuits.primitives import constant_word
+
+
+def _add_words_mod(
+    circuit: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    prefix: str,
+) -> List[int]:
+    """``(a + b) mod 2^w`` with a ripple adder (carry out dropped)."""
+    sums, _carries = ripple_carry_adder(circuit, list(a), list(b), prefix=prefix)
+    return sums
+
+
+def constant_multiplier(
+    circuit: Circuit,
+    x: Sequence[int],
+    coefficient: int,
+    prefix: str = "cmul",
+) -> List[int]:
+    """``(x * coefficient) mod 2^len(x)`` by shift-and-add.
+
+    One ripple adder per set coefficient bit; a zero coefficient yields
+    a constant-zero word.  This is how fixed FIR taps were built before
+    canonical-signed-digit optimisers.
+    """
+    width = len(x)
+    if width == 0:
+        raise ValueError("operand must be at least 1 bit wide")
+    if coefficient < 0:
+        raise ValueError("coefficient must be non-negative")
+    coefficient %= 1 << width
+
+    zero = constant_word(circuit, 0, width, prefix=f"{prefix}_z")
+    total: List[int] | None = None
+    term_id = 0
+    for shift in range(width):
+        if not (coefficient >> shift) & 1:
+            continue
+        # x << shift, truncated to width bits.
+        shifted = list(zero[:shift]) + list(x[: width - shift])
+        if total is None:
+            total = shifted
+        else:
+            total = _add_words_mod(
+                circuit, total, shifted, prefix=f"{prefix}_a{term_id}"
+            )
+        term_id += 1
+    return list(zero) if total is None else list(total)
+
+
+def mac_unit(
+    width: int = 8,
+    coefficient: int = 3,
+    name: str = "mac",
+) -> Tuple[Circuit, Dict[str, List[int]]]:
+    """A multiply-accumulate unit: ``acc <= acc + coefficient * x``.
+
+    Returns ``(circuit, ports)`` with the input word ``x`` and the
+    registered accumulator output ``acc``.  The accumulator register
+    closes a combinational loop through the adder, so the retiming
+    graph is cyclic — the minimum achievable period is set by the loop.
+    """
+    circuit = Circuit(name)
+    x = circuit.add_input_word("x", width)
+    scaled = constant_multiplier(circuit, x, coefficient, prefix="scale")
+    acc_q = circuit.new_net_word("acc", width)
+    acc_d = _add_words_mod(circuit, scaled, acc_q, prefix="accadd")
+    for d, q in zip(acc_d, acc_q):
+        circuit.add_cell(
+            CellKind.DFF, [d], [q], name=f"accff_{circuit.net_name(q)}"
+        )
+    circuit.mark_output_word(acc_q, "out")
+    return circuit, {"x": x, "acc": acc_q}
+
+
+def transposed_fir(
+    width: int = 8,
+    coefficients: Sequence[int] = (1, 2, 3),
+    name: str = "fir",
+) -> Tuple[Circuit, Dict[str, List[int]]]:
+    """A transposed direct-form FIR: ``y[n] = sum_k c_k * x[n-k]``.
+
+    Structure (all words *width* bits, arithmetic mod ``2^width``)::
+
+        y = c_0*x + z^-1 (c_1*x + z^-1 (c_2*x + ...))
+
+    Every tap product feeds an adder whose other operand arrives from
+    the next tap through a register — the canonical retiming testbed:
+    registers already sit between the adders and can be redistributed.
+    """
+    if not coefficients:
+        raise ValueError("need at least one coefficient")
+    circuit = Circuit(name)
+    x = circuit.add_input_word("x", width)
+
+    products = [
+        constant_multiplier(circuit, x, c, prefix=f"tap{k}")
+        for k, c in enumerate(coefficients)
+    ]
+    # Walk from the last tap towards the output.
+    partial = products[-1]
+    for k in range(len(coefficients) - 2, -1, -1):
+        delayed = circuit.add_dff_word(partial, name=f"z{k}")
+        partial = _add_words_mod(
+            circuit, products[k], delayed, prefix=f"sum{k}"
+        )
+    circuit.mark_output_word(partial, "y")
+    return circuit, {"x": x, "y": partial}
+
+
+def reference_fir(
+    stream: Sequence[int], coefficients: Sequence[int], width: int
+) -> List[int]:
+    """Golden model of :func:`transposed_fir` (mod ``2^width``)."""
+    mask = (1 << width) - 1
+    out = []
+    for n in range(len(stream)):
+        acc = 0
+        for k, c in enumerate(coefficients):
+            if n - k >= 0:
+                acc += (c & mask) * stream[n - k]
+        out.append(acc & mask)
+    return out

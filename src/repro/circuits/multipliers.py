@@ -1,0 +1,333 @@
+"""Array and Wallace-tree multipliers (paper Section 4.1).
+
+Both architectures multiply unsigned operands and share the same
+partial-product AND matrix; they differ only in how the partial
+products are summed:
+
+* :func:`array_multiplier` — the carry-save *array* of paper Figure 6:
+  each row of FA cells adds one partial-product row to the shifted
+  sum/carry vectors of the row above, followed by a ripple-carry final
+  adder.  Deep, strongly delay-unbalanced paths -> many glitches.
+* :func:`wallace_tree_multiplier` — column-wise 3:2 reduction in
+  log-depth layers (paper Figure 7), followed by a ripple-carry final
+  adder ("17bit RCA" in the figure).  Much better balanced -> few
+  glitches.
+
+The Table 1 / Table 2 experiments monitor every adder-cell output in
+these structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.circuits.primitives import full_adder, half_adder
+
+
+def _partial_products(
+    circuit: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    prefix: str,
+) -> List[List[int]]:
+    """The AND matrix: ``pp[i][j] = x[j] & y[i]`` (weight ``i + j``)."""
+    return [
+        [
+            circuit.gate(
+                CellKind.AND, x[j], y[i], name=f"{prefix}_pp{i}_{j}"
+            )
+            for j in range(len(x))
+        ]
+        for i in range(len(y))
+    ]
+
+
+def array_multiplier(
+    circuit: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    prefix: str = "arr",
+) -> List[int]:
+    """Carry-save array multiplier; returns the ``len(x)+len(y)``-bit product.
+
+    Row ``i`` adds partial-product row ``i`` to the shifted sum vector
+    and the carry vector of row ``i-1``; carries are saved (not
+    propagated) until the final ripple-carry adder merges the last
+    sum/carry vectors.  The carry chain of that final adder plus the
+    column-depth imbalance of the array create the long unbalanced
+    paths measured in Table 1.
+    """
+    n, m = len(x), len(y)
+    if n == 0 or m == 0:
+        raise ValueError("operands must be at least 1 bit wide")
+    pp = _partial_products(circuit, x, y, prefix)
+    product: List[int] = []
+
+    # Row 0 contributes the initial sum vector; no carries yet.
+    s: List[int | None] = list(pp[0])  # s[j] has weight j (relative to row)
+    c: List[int | None] = [None] * n  # c[j] has weight j+1
+    product.append(pp[0][0])
+
+    for i in range(1, m):
+        new_s: List[int | None] = [None] * n
+        new_c: List[int | None] = [None] * n
+        for j in range(n):
+            a = pp[i][j]  # weight i + j
+            b = s[j + 1] if j + 1 < n else None  # weight (i-1)+(j+1)
+            k = c[j]  # weight (i-1)+j+1
+            operands = [o for o in (b, k) if o is not None]
+            if len(operands) == 2:
+                new_s[j], new_c[j] = full_adder(
+                    circuit, a, operands[0], operands[1],
+                    name=f"{prefix}_fa{i}_{j}",
+                )
+            elif len(operands) == 1:
+                new_s[j], new_c[j] = half_adder(
+                    circuit, a, operands[0], name=f"{prefix}_ha{i}_{j}"
+                )
+            else:
+                new_s[j] = a  # passes straight through
+                new_c[j] = None
+        s, c = new_s, new_c
+        assert s[0] is not None
+        product.append(s[0])
+
+    # Final carry-propagate (ripple) adder over the remaining
+    # sum/carry vectors: a[j] = s[j+1], b[j] = c[j], weight m + j.
+    carry: int | None = None
+    for j in range(n):
+        a_bit = s[j + 1] if j + 1 < n else None
+        b_bit = c[j]
+        operands = [o for o in (a_bit, b_bit, carry) if o is not None]
+        top = j == n - 1
+        if len(operands) >= 2 and top:
+            # The carry out of the most significant cell has weight
+            # n + m and can never fire; emit the sum XOR only.
+            bit = circuit.gate(
+                CellKind.XOR, *operands, name=f"{prefix}_cpa{j}"
+            )
+            carry = None
+        elif len(operands) == 3:
+            bit, carry = full_adder(
+                circuit, operands[0], operands[1], operands[2],
+                name=f"{prefix}_cpa{j}",
+            )
+        elif len(operands) == 2:
+            bit, carry = half_adder(
+                circuit, operands[0], operands[1], name=f"{prefix}_cpa{j}"
+            )
+        elif len(operands) == 1:
+            bit, carry = operands[0], None
+        else:
+            zero = circuit.add_cell(
+                CellKind.CONST0, [], name=f"{prefix}_z{j}"
+            )
+            bit, carry = zero.outputs[0], None
+        product.append(bit)
+    assert len(product) == n + m, (len(product), n + m)
+    return product
+
+
+def reduce_and_add_columns(
+    circuit: Circuit,
+    columns: Dict[int, List[int]],
+    width: int,
+    prefix: str,
+) -> List[int]:
+    """Wallace 3:2/2:2 column reduction plus final ripple-carry add.
+
+    *columns* maps weight -> list of nets; the result is the *width*-bit
+    sum of all bits **modulo 2^width** — carries out of the top column
+    are mathematically dropped (its cells degenerate to XOR, which is
+    addition mod 2), exactly what an unsigned product (which cannot
+    overflow) and a Baugh–Wooley two's-complement product (whose
+    correction constants wrap) both require.
+    """
+    layer = 0
+    while max(len(bits) for bits in columns.values()) > 2:
+        new_columns: Dict[int, List[int]] = {w: [] for w in range(width)}
+        for w in range(width):
+            bits = columns[w]
+            if w == width - 1 and len(bits) >= 2:
+                # Top-column carries would have weight 2^width: they are
+                # dropped by the mod-2^width semantics, so the cells
+                # degenerate to XOR (addition mod 2).
+                new_columns[w].append(
+                    circuit.gate(
+                        CellKind.XOR, *bits, name=f"{prefix}_l{layer}_top"
+                    )
+                )
+                continue
+            idx = 0
+            group_id = 0
+            while len(bits) - idx >= 3:
+                sm, cy = full_adder(
+                    circuit, bits[idx], bits[idx + 1], bits[idx + 2],
+                    name=f"{prefix}_l{layer}_w{w}_fa{group_id}",
+                )
+                new_columns[w].append(sm)
+                new_columns[w + 1].append(cy)
+                idx += 3
+                group_id += 1
+            # Classic Wallace: every remaining pair is half-added too.
+            # Without this, an isolated 3-high column emits a carry that
+            # pushes its neighbour to 3 and the reduction degenerates to
+            # a ripple marching one column per layer.
+            if len(bits) - idx == 2:
+                sm, cy = half_adder(
+                    circuit, bits[idx], bits[idx + 1],
+                    name=f"{prefix}_l{layer}_w{w}_ha",
+                )
+                new_columns[w].append(sm)
+                new_columns[w + 1].append(cy)
+                idx += 2
+            new_columns[w].extend(bits[idx:])
+        columns = new_columns
+        layer += 1
+
+    # Final ripple-carry addition of the remaining two rows; the top
+    # column again adds mod 2 (XOR), dropping the weight-2^width carry.
+    product: List[int] = []
+    carry: int | None = None
+    for w in range(width):
+        bits = list(columns[w])
+        if carry is not None:
+            bits.append(carry)
+        top = w == width - 1
+        if len(bits) >= 2 and top:
+            bit = circuit.gate(CellKind.XOR, *bits, name=f"{prefix}_cpa{w}")
+            carry = None
+        elif len(bits) == 3:
+            bit, carry = full_adder(
+                circuit, bits[0], bits[1], bits[2], name=f"{prefix}_cpa{w}"
+            )
+        elif len(bits) == 2:
+            bit, carry = half_adder(
+                circuit, bits[0], bits[1], name=f"{prefix}_cpa{w}"
+            )
+        elif len(bits) == 1:
+            bit, carry = bits[0], None
+        else:
+            zero = circuit.add_cell(
+                CellKind.CONST0, [], name=f"{prefix}_z{w}"
+            )
+            bit, carry = zero.outputs[0], None
+        product.append(bit)
+    return product
+
+
+def wallace_tree_multiplier(
+    circuit: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    prefix: str = "wal",
+) -> List[int]:
+    """Wallace-tree multiplier; returns the ``len(x)+len(y)``-bit product.
+
+    Column heights are reduced with carry-save 3:2 (FA) and 2:2 (HA)
+    compressors layer by layer until every column holds at most two
+    bits, then a ripple-carry adder produces the final product.
+    """
+    n, m = len(x), len(y)
+    if n == 0 or m == 0:
+        raise ValueError("operands must be at least 1 bit wide")
+    pp = _partial_products(circuit, x, y, prefix)
+    width = n + m
+    columns: Dict[int, List[int]] = {w: [] for w in range(width)}
+    for i in range(m):
+        for j in range(n):
+            columns[i + j].append(pp[i][j])
+    return reduce_and_add_columns(circuit, columns, width, prefix)
+
+
+def baugh_wooley_multiplier(
+    circuit: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    prefix: str = "bw",
+) -> List[int]:
+    """Signed (two's complement) Baugh–Wooley multiplier.
+
+    Extension beyond the paper (which treats positive numbers): the
+    regular Baugh–Wooley form makes a signed multiplier out of the same
+    carry-save machinery by complementing the partial products that
+    involve exactly one sign bit (NAND instead of AND cells) and adding
+    correction constants ``2^n`` and ``2^(2n-1)``:
+
+        P = sum_{i,j<n-1} x_j y_i 2^(i+j)
+          + sum_{i<n-1} ~(x_{n-1} y_i) 2^(n-1+i)
+          + sum_{j<n-1} ~(x_j y_{n-1}) 2^(n-1+j)
+          + x_{n-1} y_{n-1} 2^(2n-2)  +  2^n  +  2^(2n-1)   (mod 2^2n)
+
+    Requires square operands (``len(x) == len(y) >= 2``).  The result is
+    the exact 2n-bit two's-complement product.
+    """
+    n = len(x)
+    if n != len(y):
+        raise ValueError("Baugh-Wooley requires equal operand widths")
+    if n < 2:
+        raise ValueError("Baugh-Wooley requires at least 2-bit operands")
+    width = 2 * n
+    columns: Dict[int, List[int]] = {w: [] for w in range(width)}
+    for i in range(n - 1):
+        for j in range(n - 1):
+            columns[i + j].append(
+                circuit.gate(
+                    CellKind.AND, x[j], y[i], name=f"{prefix}_pp{i}_{j}"
+                )
+            )
+    for i in range(n - 1):
+        columns[n - 1 + i].append(
+            circuit.gate(
+                CellKind.NAND, x[n - 1], y[i], name=f"{prefix}_nx{i}"
+            )
+        )
+    for j in range(n - 1):
+        columns[n - 1 + j].append(
+            circuit.gate(
+                CellKind.NAND, x[j], y[n - 1], name=f"{prefix}_ny{j}"
+            )
+        )
+    columns[2 * n - 2].append(
+        circuit.gate(
+            CellKind.AND, x[n - 1], y[n - 1], name=f"{prefix}_pps"
+        )
+    )
+    one_n = circuit.add_cell(CellKind.CONST1, [], name=f"{prefix}_k1")
+    columns[n].append(one_n.outputs[0])
+    one_top = circuit.add_cell(CellKind.CONST1, [], name=f"{prefix}_k2")
+    columns[2 * n - 1].append(one_top.outputs[0])
+    return reduce_and_add_columns(circuit, columns, width, prefix)
+
+
+def build_multiplier_circuit(
+    n_bits: int,
+    architecture: str,
+    name: str | None = None,
+) -> tuple[Circuit, dict]:
+    """A standalone ``n_bits x n_bits`` multiplier with named ports.
+
+    *architecture* is ``"array"`` or ``"wallace"``.  Returns
+    ``(circuit, ports)`` with the ``x``/``y`` input words and the
+    ``product`` output word.
+    """
+    builders = {
+        "array": array_multiplier,
+        "wallace": wallace_tree_multiplier,
+        "baugh-wooley": baugh_wooley_multiplier,
+    }
+    try:
+        builder = builders[architecture]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; "
+            f"choose from {sorted(builders)}"
+        ) from None
+    circuit = Circuit(name or f"{architecture}{n_bits}x{n_bits}")
+    x = circuit.add_input_word("x", n_bits)
+    y = circuit.add_input_word("y", n_bits)
+    product = builder(circuit, x, y)
+    circuit.mark_output_word(product, "p")
+    return circuit, {"x": x, "y": y, "product": product}

@@ -1,0 +1,109 @@
+"""Arithmetic primitives: adder cells and constants.
+
+Two full-adder granularities are provided because the paper simulates
+at the *cell* level ("unit delay model for every full adder stage"):
+
+* :func:`full_adder` — one two-output FA cell; the delay model can give
+  sum and carry distinct delays (Table 2's ``dsum = 2*dcarry``);
+* :func:`full_adder_gates` — the classic 2x XOR + 2x AND + OR
+  decomposition, used by the granularity ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+
+
+def full_adder(
+    circuit: Circuit,
+    a: int,
+    b: int,
+    cin: int,
+    name: str | None = None,
+) -> Tuple[int, int]:
+    """One FA cell; returns ``(sum, carry_out)`` net indices."""
+    cell = circuit.add_cell(CellKind.FA, [a, b, cin], name=name)
+    return cell.outputs[0], cell.outputs[1]
+
+
+def half_adder(
+    circuit: Circuit,
+    a: int,
+    b: int,
+    name: str | None = None,
+) -> Tuple[int, int]:
+    """One HA cell; returns ``(sum, carry_out)`` net indices."""
+    cell = circuit.add_cell(CellKind.HA, [a, b], name=name)
+    return cell.outputs[0], cell.outputs[1]
+
+
+def full_adder_gates(
+    circuit: Circuit,
+    a: int,
+    b: int,
+    cin: int,
+    prefix: str = "fa",
+) -> Tuple[int, int]:
+    """Gate-level full adder: ``s = a^b^cin``, ``co = ab + cin(a^b)``."""
+    p = circuit.gate(CellKind.XOR, a, b, name=f"{prefix}_p")
+    s = circuit.gate(CellKind.XOR, p, cin, name=f"{prefix}_s")
+    g = circuit.gate(CellKind.AND, a, b, name=f"{prefix}_g")
+    t = circuit.gate(CellKind.AND, p, cin, name=f"{prefix}_t")
+    co = circuit.gate(CellKind.OR, g, t, name=f"{prefix}_co")
+    return s, co
+
+
+def constant_word(
+    circuit: Circuit, value: int, width: int, prefix: str = "const"
+) -> List[int]:
+    """A *width*-bit constant word built from CONST0/CONST1 cells.
+
+    Constant nets never toggle, so they contribute no activity; they
+    give thresholds and default codes a physical driver.
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    nets = []
+    for i in range(width):
+        kind = CellKind.CONST1 if (value >> i) & 1 else CellKind.CONST0
+        cell = circuit.add_cell(kind, [], name=f"{prefix}_{i}")
+        nets.append(cell.outputs[0])
+    return nets
+
+
+def reduce_tree(
+    circuit: Circuit,
+    kind: CellKind,
+    nets: Sequence[int],
+    prefix: str = "tree",
+    arity: int = 2,
+) -> int:
+    """Balanced reduction tree (AND/OR/XOR) over *nets*.
+
+    Balanced trees minimise delay imbalance — the paper's prescription —
+    so reductions (e.g. wide equality) are built this way by default.
+    """
+    if not nets:
+        raise ValueError("cannot reduce an empty net list")
+    if arity < 2:
+        raise ValueError("tree arity must be >= 2")
+    layer = list(nets)
+    level = 0
+    while len(layer) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(layer), arity):
+            group = layer[i : i + arity]
+            if len(group) == 1:
+                nxt.append(group[0])
+            else:
+                nxt.append(
+                    circuit.gate(
+                        kind, *group, name=f"{prefix}_l{level}_{i // arity}"
+                    )
+                )
+        layer = nxt
+        level += 1
+    return layer[0]

@@ -1,0 +1,210 @@
+"""Command-line front end.
+
+Exposes the library's analyses without writing Python::
+
+    python -m repro.cli analyze --circuit array8 --vectors 500
+    python -m repro.cli experiment table1
+    python -m repro.cli export --circuit detector --format dot
+    python -m repro.cli balance --circuit rca16 --vectors 300
+
+Circuit names: ``rcaN`` (ripple-carry adder), ``arrayN`` / ``wallaceN``
+(NxN multipliers), ``detector`` (the Section 4.2 processing unit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Sequence, Tuple
+
+from repro.circuits.adders import build_rca_circuit
+from repro.circuits.direction_detector import build_direction_detector
+from repro.circuits.multipliers import build_multiplier_circuit
+from repro.core.activity import analyze
+from repro.core.report import format_table
+from repro.netlist.circuit import Circuit
+from repro.netlist.io import circuit_to_dot, circuit_to_json
+from repro.sim.delays import DelayModel, SumCarryDelay, UnitDelay
+from repro.sim.vectors import WordStimulus
+
+
+def _parse_size(name: str, prefix: str) -> int:
+    try:
+        n = int(name[len(prefix):])
+    except ValueError:
+        raise SystemExit(f"bad circuit name {name!r}: expected {prefix}<bits>")
+    if not 1 <= n <= 64:
+        raise SystemExit(f"width {n} out of range 1..64")
+    return n
+
+
+def build_named_circuit(name: str) -> Tuple[Circuit, WordStimulus]:
+    """Construct a circuit by CLI name; returns it with its stimulus."""
+    if name.startswith("rca"):
+        n = _parse_size(name, "rca")
+        circuit, ports = build_rca_circuit(n, with_cin=False)
+        return circuit, WordStimulus({"a": ports["a"], "b": ports["b"]})
+    if name.startswith("array") or name.startswith("wallace"):
+        arch = "array" if name.startswith("array") else "wallace"
+        n = _parse_size(name, arch)
+        circuit, ports = build_multiplier_circuit(n, arch)
+        return circuit, WordStimulus({"x": ports["x"], "y": ports["y"]})
+    if name == "detector":
+        from repro.experiments.detector import detector_stimulus
+
+        circuit, ports = build_direction_detector()
+        return circuit, detector_stimulus(ports)
+    raise SystemExit(
+        f"unknown circuit {name!r}; try rca16, array8, wallace8, detector"
+    )
+
+
+def _delay_model(spec: str) -> DelayModel:
+    if spec == "unit":
+        return UnitDelay()
+    if spec == "sumcarry":
+        return SumCarryDelay(dsum=2, dcarry=1)
+    raise SystemExit(f"unknown delay model {spec!r}; use unit or sumcarry")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    circuit, stim = build_named_circuit(args.circuit)
+    rng = random.Random(args.seed)
+    result = analyze(
+        circuit,
+        stim.random(rng, args.vectors + 1),
+        delay_model=_delay_model(args.delay),
+    )
+    summary = result.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in summary.items()],
+            title=(
+                f"{circuit.name}: {args.vectors} random vectors, "
+                f"{result.delay_description}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig5":
+        from repro.experiments.rca import figure5_experiment, format_figure5
+
+        print(format_figure5(figure5_experiment(n_vectors=args.vectors)))
+    elif name == "table1":
+        from repro.experiments.multipliers import format_rows, table1_experiment
+
+        print(format_rows(table1_experiment(n_vectors=args.vectors), "Table 1"))
+    elif name == "table2":
+        from repro.experiments.multipliers import format_rows, table2_experiment
+
+        print(format_rows(table2_experiment(n_vectors=args.vectors), "Table 2"))
+    elif name == "sec42":
+        from repro.experiments.detector import section42_experiment
+
+        data = section42_experiment(n_vectors=args.vectors)
+        rows = [
+            ["useful", data["useful"], data["paper"]["useful"]],
+            ["useless", data["useless"], data["paper"]["useless"]],
+            ["L/F", data["L/F"], data["paper"]["L/F"]],
+        ]
+        print(format_table(["metric", "repro", "paper"], rows, "Section 4.2"))
+    elif name == "table3":
+        from repro.experiments.retiming_power import (
+            format_table3,
+            table3_experiment,
+        )
+
+        print(format_table3(table3_experiment(n_vectors=args.vectors)))
+    elif name == "adders":
+        from repro.experiments.adder_sweep import (
+            adder_architecture_experiment,
+            format_adder_sweep,
+        )
+
+        print(
+            format_adder_sweep(
+                adder_architecture_experiment(n_vectors=args.vectors)
+            )
+        )
+    else:
+        raise SystemExit(
+            f"unknown experiment {name!r}; "
+            "try fig5, table1, table2, sec42, table3, adders"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    circuit, _ = build_named_circuit(args.circuit)
+    if args.format == "json":
+        print(circuit_to_json(circuit, indent=2))
+    else:
+        print(circuit_to_dot(circuit, max_cells=args.max_cells))
+    return 0
+
+
+def cmd_balance(args: argparse.Namespace) -> int:
+    from repro.experiments.balance import (
+        balancing_vs_retiming_experiment,
+        format_balance_comparison,
+    )
+
+    n_bits = _parse_size(args.circuit, "rca")
+    data = balancing_vs_retiming_experiment(
+        n_bits=n_bits, n_vectors=args.vectors
+    )
+    print(format_balance_comparison(data))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Glitch-aware transition-activity analysis "
+            "(Leijten et al., DATE 1995 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="count useful/useless transitions")
+    p.add_argument("--circuit", required=True)
+    p.add_argument("--vectors", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1995)
+    p.add_argument("--delay", default="unit", choices=["unit", "sumcarry"])
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name")
+    p.add_argument("--vectors", type=int, default=300)
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("export", help="dump a circuit as JSON or DOT")
+    p.add_argument("--circuit", required=True)
+    p.add_argument("--format", default="json", choices=["json", "dot"])
+    p.add_argument("--max-cells", type=int, default=2000)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "balance", help="compare balancing vs retiming on an RCA"
+    )
+    p.add_argument("--circuit", default="rca12")
+    p.add_argument("--vectors", type=int, default=300)
+    p.set_defaults(func=cmd_balance)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

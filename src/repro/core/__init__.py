@@ -1,0 +1,60 @@
+"""Transition-activity analysis: the paper's primary contribution.
+
+Provides the useful/useless transition classification via parity
+evaluation (:mod:`repro.core.transitions`), per-circuit activity
+accounting on top of the event-driven simulator
+(:mod:`repro.core.activity`), the closed-form ripple-carry-adder
+probability model of paper Section 3 (:mod:`repro.core.analytical`),
+and the three-component dynamic power model of Section 5
+(:mod:`repro.core.power`).
+"""
+
+from repro.core.transitions import (
+    classify_toggle_count,
+    glitch_count,
+    NodeActivity,
+)
+from repro.core.activity import ActivityResult, analyze, accumulate_traces
+from repro.core.analytical import (
+    transition_ratio_sum,
+    transition_ratio_carry,
+    useful_ratio_sum,
+    useless_ratio_sum,
+    useful_ratio_carry,
+    useless_ratio_carry,
+    rca_expected_counts,
+    rca_per_bit_table,
+    worst_case_transitions,
+    worst_case_probability,
+    worst_case_vectors,
+)
+from repro.core.power import (
+    dynamic_power,
+    PowerBreakdown,
+    estimate_power,
+)
+from repro.core.report import format_table
+
+__all__ = [
+    "classify_toggle_count",
+    "glitch_count",
+    "NodeActivity",
+    "ActivityResult",
+    "analyze",
+    "accumulate_traces",
+    "transition_ratio_sum",
+    "transition_ratio_carry",
+    "useful_ratio_sum",
+    "useless_ratio_sum",
+    "useful_ratio_carry",
+    "useless_ratio_carry",
+    "rca_expected_counts",
+    "rca_per_bit_table",
+    "worst_case_transitions",
+    "worst_case_probability",
+    "worst_case_vectors",
+    "dynamic_power",
+    "PowerBreakdown",
+    "estimate_power",
+    "format_table",
+]

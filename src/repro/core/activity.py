@@ -1,0 +1,176 @@
+"""Circuit-level transition-activity accounting.
+
+:func:`analyze` is the main entry point: it simulates a circuit over a
+vector stream and returns an :class:`ActivityResult` with per-node and
+aggregate useful/useless/glitch statistics — the quantities behind the
+paper's Tables 1 and 2, Figure 5, and the Section 4.2 direction
+detector numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.transitions import NodeActivity
+from repro.netlist.circuit import Circuit
+from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
+from repro.sim.engine import CycleTrace, Simulator
+
+
+@dataclass
+class ActivityResult:
+    """Aggregated transition activity for one simulation run.
+
+    The paper's headline metrics map as follows:
+
+    * *total* (Table 1 "total")       -> :attr:`total_transitions`
+    * *useful F* (Table 1 "useful F") -> :attr:`useful`
+    * *useless L* (Table 1 "useless L") -> :attr:`useless`
+    * *L/F*                           -> :meth:`useless_useful_ratio`
+    * glitch-free reduction bound 1 + L/F (Section 4.2)
+                                      -> :meth:`reduction_bound`
+    """
+
+    circuit_name: str
+    delay_description: str
+    cycles: int = 0
+    per_node: Dict[int, NodeActivity] = field(default_factory=dict)
+    node_names: Dict[int, str] = field(default_factory=dict)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def total_transitions(self) -> int:
+        return sum(a.toggles for a in self.per_node.values())
+
+    @property
+    def useful(self) -> int:
+        return sum(a.useful for a in self.per_node.values())
+
+    @property
+    def useless(self) -> int:
+        return sum(a.useless for a in self.per_node.values())
+
+    @property
+    def rises(self) -> int:
+        return sum(a.rises for a in self.per_node.values())
+
+    @property
+    def glitches(self) -> int:
+        return sum(a.glitches for a in self.per_node.values())
+
+    def useless_useful_ratio(self) -> float:
+        """The paper's L/F metric (``inf`` when no useful transitions)."""
+        if self.useful == 0:
+            return float("inf") if self.useless else 0.0
+        return self.useless / self.useful
+
+    def reduction_bound(self) -> float:
+        """Best-case activity reduction factor from perfect balancing.
+
+        Section 4.2: activity can shrink by ``1 + L/F`` if all delay
+        paths are balanced (all useless transitions eliminated).
+        """
+        return 1.0 + self.useless_useful_ratio()
+
+    # -- per-node / per-word views ---------------------------------------
+    def node(self, net: int) -> NodeActivity:
+        """Activity of one net (zero record if it never toggled)."""
+        return self.per_node.get(net, NodeActivity())
+
+    def restrict(self, nets: Iterable[int]) -> "ActivityResult":
+        """A new result containing only *nets* (e.g. one output word)."""
+        keep = set(nets)
+        out = ActivityResult(
+            circuit_name=self.circuit_name,
+            delay_description=self.delay_description,
+            cycles=self.cycles,
+        )
+        for n, act in self.per_node.items():
+            if n in keep:
+                out.per_node[n] = act
+                if n in self.node_names:
+                    out.node_names[n] = self.node_names[n]
+        return out
+
+    def word_profile(
+        self, word: Sequence[int]
+    ) -> List[NodeActivity]:
+        """Per-bit activity along a word, LSB first (paper Figure 5)."""
+        return [self.node(n) for n in word]
+
+    def merge(self, other: "ActivityResult") -> None:
+        """Accumulate a second (sharded) run into this result."""
+        if other.circuit_name != self.circuit_name:
+            raise ValueError("cannot merge results from different circuits")
+        self.cycles += other.cycles
+        for n, act in other.per_node.items():
+            mine = self.per_node.get(n)
+            if mine is None:
+                self.per_node[n] = NodeActivity(
+                    act.toggles, act.rises, act.useful, act.useless,
+                    act.cycles_active,
+                )
+            else:
+                mine.merge(act)
+        self.node_names.update(other.node_names)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers in one dict (used by reports and benches)."""
+        return {
+            "cycles": self.cycles,
+            "total": self.total_transitions,
+            "useful": self.useful,
+            "useless": self.useless,
+            "glitches": self.glitches,
+            "rises": self.rises,
+            "L/F": round(self.useless_useful_ratio(), 4),
+            "reduction_bound": round(self.reduction_bound(), 4),
+        }
+
+
+def accumulate_traces(
+    result: ActivityResult, traces: Iterable[CycleTrace]
+) -> ActivityResult:
+    """Fold raw cycle traces into *result* (in place; returned for chaining)."""
+    per_node = result.per_node
+    for trace in traces:
+        result.cycles += 1
+        rises = trace.rises
+        for net, toggles in trace.toggles.items():
+            act = per_node.get(net)
+            if act is None:
+                act = per_node[net] = NodeActivity()
+            act.add_cycle(toggles, rises.get(net, 0))
+    return result
+
+
+def analyze(
+    circuit: Circuit,
+    vectors: Iterable[Sequence[int] | Mapping[int, int]],
+    delay_model: DelayModel | None = None,
+    warmup: Sequence[int] | Mapping[int, int] | None = None,
+    monitor: Iterable[int] | None = None,
+) -> ActivityResult:
+    """Simulate *circuit* over *vectors* and classify every transition.
+
+    Parameters mirror :class:`~repro.sim.engine.Simulator`; the first
+    vector is consumed as warm-up when *warmup* is ``None``.  Zero-delay
+    models are rejected: without intra-cycle time resolution no glitch
+    can be observed, so the classification would be vacuously "all
+    useful" and silently wrong.
+    """
+    delay_model = delay_model or UnitDelay()
+    if isinstance(delay_model, ZeroDelay):
+        raise ValueError(
+            "activity analysis requires a delay model with >= 1 delta "
+            "per cell; ZeroDelay hides all glitches"
+        )
+    sim = Simulator(circuit, delay_model, monitor=monitor)
+    result = ActivityResult(
+        circuit_name=circuit.name,
+        delay_description=delay_model.describe(),
+        node_names={n.index: n.name for n in circuit.nets},
+    )
+    traces = sim.run(vectors, warmup=warmup)
+    return accumulate_traces(result, traces)

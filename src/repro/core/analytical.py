@@ -1,0 +1,163 @@
+"""Closed-form transition-activity model of the ripple-carry adder.
+
+Implements paper Section 3 exactly:
+
+* eq. (2): ``TR(C_{i+1}) = 3/4 - 3/4 * (1/2)^(i+1)``
+* eq. (3): ``TR(S_i)     = 5/4 - 3/4 * (1/2)^i``
+* eq. (4): ``UFTR(S_i)   = 1/2``
+* eq. (5): ``ULTR(S_i)   = 3/4 - 3/4 * (1/2)^i``
+* eq. (6): ``UFTR(C_{i+1}) = 1/2 - 1/2 * (1/4)^(i+1)``
+* eq. (7): ``ULTR(C_{i+1}) = 1/2 * (x - 1/2) * (x - 1)`` with
+  ``x = (1/2)^(i+1)`` (equivalently ``TR - UFTR``)
+
+plus the Section 3.1 worst case: at most ``N`` transitions on ``S_{N-1}``
+and ``C_N``, occurring with probability ``3 * (1/8)^N`` for random
+inputs, and a constructive input pair that triggers it.
+
+All ratios are returned as exact :class:`fractions.Fraction` so tests
+can assert identities like ``TR = UFTR + ULTR`` without tolerance.
+The model assumes a unit-delay full-adder stage and fresh random
+operands each cycle — the paper's setting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+HALF = Fraction(1, 2)
+
+
+def transition_ratio_carry(i: int) -> Fraction:
+    """Average transitions per cycle of carry-out ``C_{i+1}`` of stage *i* (eq. 2)."""
+    _check_stage(i)
+    return Fraction(3, 4) - Fraction(3, 4) * HALF ** (i + 1)
+
+
+def transition_ratio_sum(i: int) -> Fraction:
+    """Average transitions per cycle of sum bit ``S_i`` of stage *i* (eq. 3)."""
+    _check_stage(i)
+    return Fraction(5, 4) - Fraction(3, 4) * HALF**i
+
+
+def useful_ratio_sum(i: int) -> Fraction:
+    """Average useful transitions per cycle of ``S_i`` (eq. 4): always 1/2."""
+    _check_stage(i)
+    return HALF
+
+
+def useless_ratio_sum(i: int) -> Fraction:
+    """Average useless transitions per cycle of ``S_i`` (eq. 5)."""
+    _check_stage(i)
+    return Fraction(3, 4) - Fraction(3, 4) * HALF**i
+
+
+def useful_ratio_carry(i: int) -> Fraction:
+    """Average useful transitions per cycle of ``C_{i+1}`` (eq. 6)."""
+    _check_stage(i)
+    return HALF - HALF * Fraction(1, 4) ** (i + 1)
+
+
+def useless_ratio_carry(i: int) -> Fraction:
+    """Average useless transitions per cycle of ``C_{i+1}`` (eq. 7)."""
+    _check_stage(i)
+    x = HALF ** (i + 1)
+    return HALF * (x - HALF) * (x - 1)
+
+
+def _check_stage(i: int) -> None:
+    if i < 0:
+        raise ValueError("stage index must be >= 0")
+
+
+def rca_per_bit_table(
+    n_bits: int, n_vectors: int
+) -> List[Dict[str, float]]:
+    """Expected per-bit counts for *n_vectors* random inputs (Figure 5).
+
+    Returns one row per stage *i* with expected useful/useless counts
+    for the sum bit ``S_i`` and the carry-out ``C_{i+1}``.
+    """
+    if n_bits < 1:
+        raise ValueError("adder must have at least one bit")
+    rows = []
+    for i in range(n_bits):
+        rows.append(
+            {
+                "bit": i,
+                "sum_useful": float(useful_ratio_sum(i) * n_vectors),
+                "sum_useless": float(useless_ratio_sum(i) * n_vectors),
+                "carry_useful": float(useful_ratio_carry(i) * n_vectors),
+                "carry_useless": float(useless_ratio_carry(i) * n_vectors),
+                "sum_total": float(transition_ratio_sum(i) * n_vectors),
+                "carry_total": float(transition_ratio_carry(i) * n_vectors),
+            }
+        )
+    return rows
+
+
+def rca_expected_counts(n_bits: int, n_vectors: int) -> Dict[str, float]:
+    """Expected totals over all sum and carry bits (paper Section 3.3).
+
+    For ``n_bits=16, n_vectors=4000`` this reproduces the paper's
+    119002 total / 63334 useful / 55668 useless (to within the paper's
+    own rounding) and L/F = 0.88.
+    """
+    if n_bits < 1:
+        raise ValueError("adder must have at least one bit")
+    total = Fraction(0)
+    useful = Fraction(0)
+    useless = Fraction(0)
+    for i in range(n_bits):
+        total += transition_ratio_sum(i) + transition_ratio_carry(i)
+        useful += useful_ratio_sum(i) + useful_ratio_carry(i)
+        useless += useless_ratio_sum(i) + useless_ratio_carry(i)
+    return {
+        "total": float(total * n_vectors),
+        "useful": float(useful * n_vectors),
+        "useless": float(useless * n_vectors),
+        "L/F": float(useless / useful),
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 3.1 — worst case
+# ----------------------------------------------------------------------
+def worst_case_transitions(n_bits: int) -> int:
+    """Maximum transitions of ``S_{N-1}``/``C_N`` in one cycle: exactly N."""
+    if n_bits < 1:
+        raise ValueError("adder must have at least one bit")
+    return n_bits
+
+
+def worst_case_probability(n_bits: int) -> float:
+    """Probability of the worst case for random inputs: ``3 * (1/8)^N``.
+
+    Both paper conditions must hold: the previous carries alternate
+    (two patterns) and the new operands propagate through every stage.
+    Already negligible for small N (paper Section 3.1).
+    """
+    if n_bits < 1:
+        raise ValueError("adder must have at least one bit")
+    return 3.0 * (1.0 / 8.0) ** n_bits
+
+
+def worst_case_vectors(n_bits: int) -> Tuple[int, int, int, int]:
+    """A constructive ``(prev_a, prev_b, new_a, new_b)`` worst-case pair.
+
+    Previous operands alternate generate/kill per stage so the settled
+    carries alternate 1,0,1,0,...; the new operands propagate in every
+    stage (``A_i XOR B_i = 1``), so the carry-in ripples through all N
+    stages and the top carry/sum toggle N times under unit stage delay.
+
+    >>> worst_case_vectors(4)
+    (5, 5, 15, 0)
+    """
+    if n_bits < 1:
+        raise ValueError("adder must have at least one bit")
+    prev = 0
+    for i in range(0, n_bits, 2):
+        prev |= 1 << i  # generate on even stages, kill on odd stages
+    new_a = (1 << n_bits) - 1
+    new_b = 0
+    return prev, prev, new_a, new_b

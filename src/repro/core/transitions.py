@@ -1,0 +1,111 @@
+"""Useful/useless transition classification by parity evaluation.
+
+Paper, Section 3.3 — the two properties that define the classification:
+
+1. if a node toggles an **odd** number of times within one clock cycle,
+   exactly one of those transitions is *useful* (the settled value
+   changed) and the remaining ``k - 1`` are *useless*;
+2. if it toggles an **even** number of times, **all** ``k`` transitions
+   are *useless* (the settled value is unchanged).
+
+Two consecutive useless transitions constitute a **glitch**, so a cycle
+contributes ``useless // 2`` full glitches on a node.
+
+These rules only need the per-cycle toggle *count* per node — which is
+exactly what the simulator's :class:`~repro.sim.engine.CycleTrace`
+records — so classification is exact, not sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+def classify_toggle_count(count: int) -> Tuple[int, int]:
+    """Split a per-cycle toggle count into ``(useful, useless)``.
+
+    >>> classify_toggle_count(0)
+    (0, 0)
+    >>> classify_toggle_count(1)
+    (1, 0)
+    >>> classify_toggle_count(2)
+    (0, 2)
+    >>> classify_toggle_count(5)
+    (1, 4)
+    """
+    if count < 0:
+        raise ValueError("toggle count cannot be negative")
+    if count % 2:
+        return 1, count - 1
+    return 0, count
+
+
+def glitch_count(useless: int) -> int:
+    """Number of full glitches given a useless-transition count.
+
+    The paper defines a glitch as two consecutive useless transitions;
+    an odd residue (possible on odd toggle counts) is half a glitch and
+    is truncated.
+    """
+    if useless < 0:
+        raise ValueError("useless count cannot be negative")
+    return useless // 2
+
+
+@dataclass
+class NodeActivity:
+    """Accumulated activity of one circuit node over many cycles.
+
+    Attributes
+    ----------
+    toggles:
+        Total number of signal transitions.
+    rises:
+        Total 0->1 (power-consuming) transitions; the dynamic power
+        model charges the node's load capacitance once per rise.
+    useful:
+        Transitions classified useful by per-cycle parity.
+    useless:
+        Transitions classified useless (glitch activity).
+    cycles_active:
+        Number of cycles in which the node toggled at least once.
+    """
+
+    toggles: int = 0
+    rises: int = 0
+    useful: int = 0
+    useless: int = 0
+    cycles_active: int = 0
+
+    def add_cycle(self, toggles: int, rises: int) -> None:
+        """Fold one cycle's counts for this node into the totals."""
+        if toggles == 0:
+            return
+        useful, useless = classify_toggle_count(toggles)
+        self.toggles += toggles
+        self.rises += rises
+        self.useful += useful
+        self.useless += useless
+        self.cycles_active += 1
+
+    @property
+    def glitches(self) -> int:
+        """Total full glitches (pairs of useless transitions)."""
+        return glitch_count(self.useless)
+
+    def merge(self, other: "NodeActivity") -> None:
+        """Accumulate *other* into this record (for sharded runs)."""
+        self.toggles += other.toggles
+        self.rises += other.rises
+        self.useful += other.useful
+        self.useless += other.useless
+        self.cycles_active += other.cycles_active
+
+    def __add__(self, other: "NodeActivity") -> "NodeActivity":
+        out = NodeActivity(
+            self.toggles, self.rises, self.useful, self.useless,
+            self.cycles_active,
+        )
+        out.merge(other)
+        return out

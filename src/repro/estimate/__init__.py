@@ -1,0 +1,27 @@
+"""Probabilistic activity estimation (extension beyond the paper).
+
+The paper measures activity by simulation; contemporaneous work (Najm's
+transition density, cited lineage of the paper's refs [2-4]) estimates
+it by propagating probabilities through the netlist.  This package
+implements both classic estimators so the simulator can be
+cross-checked and the ablation benchmarks can quantify where
+probabilistic estimates break down (reconvergent fanout, glitches):
+
+* :mod:`repro.estimate.probability` — exact-under-independence signal
+  probabilities and zero-delay (useful-transition) switching activity;
+* :mod:`repro.estimate.density` — Najm-style transition densities via
+  Boolean-difference sensitisation, an upper-bound proxy that *does*
+  grow with glitch activity.
+"""
+
+from repro.estimate.probability import (
+    signal_probabilities,
+    switching_activity,
+)
+from repro.estimate.density import transition_densities
+
+__all__ = [
+    "signal_probabilities",
+    "switching_activity",
+    "transition_densities",
+]

@@ -1,0 +1,102 @@
+"""Najm-style transition-density propagation.
+
+The transition density ``D(y)`` of a gate output is estimated from its
+input densities through Boolean-difference sensitisation:
+
+    D(y) = sum_i  P(dy/dx_i) * D(x_i)
+
+where ``dy/dx_i = y|x_i=1 XOR y|x_i=0`` and the probability is taken
+over the other inputs (spatial independence).  Unlike the zero-delay
+switching-activity model, density propagation *is* sensitive to
+multiple input changes per cycle and therefore tracks glitch-rich
+circuits more closely — but it still over/under-shoots under
+reconvergent fanout, which the ablation benchmark quantifies against
+the simulator's exact counts.
+
+Primary-input densities default to the random-vector value: a fresh
+random bit toggles with probability 1/2 per cycle.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Mapping
+
+from repro.estimate.probability import signal_probabilities
+from repro.netlist.cells import evaluate_kind
+from repro.netlist.circuit import Circuit
+
+
+def _difference_probability(
+    cell_kind, arity: int, pin: int, out_pos: int, pin_probs: list[float]
+) -> float:
+    """P(boolean difference of output *out_pos* w.r.t. input *pin*)."""
+    others = [i for i in range(arity) if i != pin]
+    total = 0.0
+    for combo in iter_product((0, 1), repeat=len(others)):
+        weight = 1.0
+        assignment = [0] * arity
+        for idx, bit in zip(others, combo):
+            assignment[idx] = bit
+            weight *= pin_probs[idx] if bit else 1.0 - pin_probs[idx]
+        assignment[pin] = 0
+        low = evaluate_kind(cell_kind, assignment)[out_pos]
+        assignment[pin] = 1
+        high = evaluate_kind(cell_kind, assignment)[out_pos]
+        if low != high:
+            total += weight
+    return total
+
+
+def transition_densities(
+    circuit: Circuit,
+    input_densities: Mapping[int, float] | float = 0.5,
+    input_probs: Mapping[int, float] | float = 0.5,
+) -> Dict[int, float]:
+    """Estimated transitions per cycle for every net.
+
+    *input_densities* maps primary-input nets to expected transitions
+    per cycle (scalar applies to all; 0.5 for fresh random vectors).
+    Flipflop outputs inherit their D-net's density capped at 1.0 —
+    a registered node can toggle at most once per cycle.
+    """
+    if isinstance(input_densities, (int, float)):
+        dens: Dict[int, float] = {
+            n: float(input_densities) for n in circuit.inputs
+        }
+    else:
+        dens = {n: float(d) for n, d in input_densities.items()}
+    for d in dens.values():
+        if d < 0:
+            raise ValueError("densities cannot be negative")
+
+    probs = signal_probabilities(circuit, input_probs)
+    densities: Dict[int, float] = dict(dens)
+    for c in circuit.cells:
+        if c.is_sequential:
+            densities[c.outputs[0]] = 0.0  # refined below
+
+    # Feed-forward propagation; one refinement pass settles pipelines.
+    for _ in range(2 if circuit.num_flipflops else 1):
+        for c in circuit.cells:
+            if c.is_sequential:
+                densities[c.outputs[0]] = min(
+                    1.0, densities.get(c.inputs[0], 0.0)
+                )
+        for cell in circuit.topological_cells():
+            arity = len(cell.inputs)
+            pin_probs = [probs.get(n, 0.5) for n in cell.inputs]
+            for pos, out in enumerate(cell.outputs):
+                total = 0.0
+                for pin, net in enumerate(cell.inputs):
+                    d_in = densities.get(net, 0.0)
+                    if d_in == 0.0:
+                        continue
+                    total += (
+                        _difference_probability(
+                            cell.kind, arity, pin, pos, pin_probs
+                        )
+                        * d_in
+                    )
+                densities[out] = total
+    return densities

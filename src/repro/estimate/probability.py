@@ -1,0 +1,145 @@
+"""Signal-probability and switching-activity propagation.
+
+``signal_probabilities`` propagates static one-probabilities through
+the netlist assuming spatial independence of every cell's inputs (the
+classic zero-delay model).  ``switching_activity`` derives the
+per-cycle *useful* transition probability of each net under temporal
+independence of successive input vectors: a net with one-probability
+``p`` settles to different values in consecutive cycles with
+probability ``2 p (1 - p)``.
+
+Both are exact for fanout-tree circuits driven by independent inputs
+(verified against exhaustive enumeration in the tests) and are biased
+by reconvergent fanout elsewhere — one of the reasons the paper
+simulates instead.  Note these estimators see **only useful
+transitions**: a zero-delay model cannot represent glitches, which is
+precisely the gap the paper's simulation-based method fills (the
+ablation benchmark quantifies this gap).
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Mapping, Sequence
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+
+
+def _kind_probability(
+    kind: CellKind, input_probs: Sequence[float]
+) -> list[float]:
+    """Output one-probabilities of *kind* given independent input probs."""
+    if kind is CellKind.CONST0:
+        return [0.0]
+    if kind is CellKind.CONST1:
+        return [1.0]
+    if kind in (CellKind.BUF, CellKind.DFF):
+        return [input_probs[0]]
+    if kind is CellKind.NOT:
+        return [1.0 - input_probs[0]]
+    if kind is CellKind.AND:
+        p = 1.0
+        for q in input_probs:
+            p *= q
+        return [p]
+    if kind is CellKind.NAND:
+        return [1.0 - _kind_probability(CellKind.AND, input_probs)[0]]
+    if kind is CellKind.OR:
+        p = 1.0
+        for q in input_probs:
+            p *= 1.0 - q
+        return [1.0 - p]
+    if kind is CellKind.NOR:
+        return [1.0 - _kind_probability(CellKind.OR, input_probs)[0]]
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        # P(odd parity) via the product identity.
+        prod = 1.0
+        for q in input_probs:
+            prod *= 1.0 - 2.0 * q
+        p_odd = (1.0 - prod) / 2.0
+        return [p_odd if kind is CellKind.XOR else 1.0 - p_odd]
+    # Small fixed-arity kinds: enumerate the truth table.
+    from repro.netlist.cells import OUTPUT_COUNT, evaluate_kind
+
+    n_out = OUTPUT_COUNT[kind]
+    probs = [0.0] * n_out
+    for combo in iter_product((0, 1), repeat=len(input_probs)):
+        weight = 1.0
+        for bit, p in zip(combo, input_probs):
+            weight *= p if bit else 1.0 - p
+        outs = evaluate_kind(kind, combo)
+        for k in range(n_out):
+            if outs[k]:
+                probs[k] += weight
+    return probs
+
+
+def signal_probabilities(
+    circuit: Circuit,
+    input_probs: Mapping[int, float] | float = 0.5,
+) -> Dict[int, float]:
+    """One-probability of every net under spatial independence.
+
+    *input_probs* maps primary-input net indices to probabilities (a
+    scalar applies to all inputs).  Flipflop outputs are assigned their
+    D-input's steady-state probability by fixed-point iteration (two
+    passes suffice for feed-forward pipelines; loops iterate to
+    convergence or 64 rounds).
+    """
+    if isinstance(input_probs, (int, float)):
+        probs: Dict[int, float] = {n: float(input_probs) for n in circuit.inputs}
+    else:
+        probs = {n: float(p) for n, p in input_probs.items()}
+        missing = set(circuit.inputs) - set(probs)
+        if missing:
+            raise ValueError(
+                f"missing probabilities for inputs "
+                f"{sorted(circuit.net_name(n) for n in missing)}"
+            )
+    for p in probs.values():
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probabilities must lie in [0, 1]")
+
+    values: Dict[int, float] = dict(probs)
+    ff_cells = [c for c in circuit.cells if c.is_sequential]
+    for c in ff_cells:
+        values[c.outputs[0]] = 0.5  # initial guess
+
+    order = circuit.topological_cells()
+    for _ in range(max(1, 64 if _has_state_loop(circuit) else 2)):
+        for cell in order:
+            ins = [values.get(n, 0.5) for n in cell.inputs]
+            outs = _kind_probability(cell.kind, ins)
+            for net, p in zip(cell.outputs, outs):
+                values[net] = p
+        changed = False
+        for c in ff_cells:
+            new = values.get(c.inputs[0], 0.5)
+            if abs(values[c.outputs[0]] - new) > 1e-12:
+                values[c.outputs[0]] = new
+                changed = True
+        if not changed:
+            break
+    return values
+
+
+def _has_state_loop(circuit: Circuit) -> bool:
+    """Cheap check: any DFF whose output can reach its own input?"""
+    # Conservative: if there are DFFs at all we allow extra iterations;
+    # pipelines converge after the first correction anyway.
+    return circuit.num_flipflops > 0
+
+
+def switching_activity(
+    circuit: Circuit,
+    input_probs: Mapping[int, float] | float = 0.5,
+) -> Dict[int, float]:
+    """Per-cycle useful-transition probability ``2 p (1 - p)`` per net.
+
+    Assumes successive input vectors are independent (the paper's
+    random-input regime).  This equals the *useful* transition ratio —
+    compare eq. (4): a sum bit with ``p = 1/2`` gets activity ``1/2``.
+    """
+    probs = signal_probabilities(circuit, input_probs)
+    return {net: 2.0 * p * (1.0 - p) for net, p in probs.items()}

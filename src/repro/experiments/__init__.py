@@ -1,0 +1,42 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each driver returns plain dict/list data (and can render a text table)
+so the same code backs the benchmarks, the examples and EXPERIMENTS.md.
+The mapping to the paper is catalogued in DESIGN.md Section 3:
+
+* :mod:`repro.experiments.rca` — Figure 5 and the Section 3.1 worst
+  case (E1, E6);
+* :mod:`repro.experiments.multipliers` — Tables 1 and 2 plus the
+  input-correlation ablation (E2, E3, A2);
+* :mod:`repro.experiments.detector` — Section 4.2 direction-detector
+  numbers (E4);
+* :mod:`repro.experiments.retiming_power` — Table 3 / Figure 10 sweep
+  and the flipflop-activity ablation (E5, A3);
+* :mod:`repro.experiments.adder_sweep` — adder-architecture ablation
+  (A1).
+"""
+
+from repro.experiments.rca import figure5_experiment, worst_case_experiment
+from repro.experiments.multipliers import (
+    table1_experiment,
+    table2_experiment,
+    correlation_experiment,
+)
+from repro.experiments.detector import section42_experiment
+from repro.experiments.retiming_power import (
+    table3_experiment,
+    ff_activity_experiment,
+)
+from repro.experiments.adder_sweep import adder_architecture_experiment
+
+__all__ = [
+    "figure5_experiment",
+    "worst_case_experiment",
+    "table1_experiment",
+    "table2_experiment",
+    "correlation_experiment",
+    "section42_experiment",
+    "table3_experiment",
+    "ff_activity_experiment",
+    "adder_architecture_experiment",
+]

@@ -1,0 +1,92 @@
+"""A1 ablation — adder-architecture glitch comparison.
+
+The paper's conclusion prescribes "balancing delay paths and/or
+introducing flipflops".  This ablation quantifies the first lever on
+adders: the same 16-bit addition implemented as ripple-carry (worst
+balanced), carry-select, group carry-lookahead, and Kogge–Stone prefix
+(best balanced), measured with the paper's counting method.  The
+expected ordering under the paper's thesis is monotone: better-balanced
+architectures produce lower useless/useful ratios.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.circuits.adders import (
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.core.activity import analyze
+from repro.core.report import format_table
+from repro.netlist.circuit import Circuit
+from repro.sim.vectors import WordStimulus
+
+
+def _build(architecture: str, n_bits: int) -> tuple[Circuit, dict]:
+    circuit = Circuit(f"{architecture}{n_bits}")
+    a = circuit.add_input_word("a", n_bits)
+    b = circuit.add_input_word("b", n_bits)
+    if architecture == "ripple":
+        sums, carries = ripple_carry_adder(circuit, a, b)
+        cout = carries[-1]
+    elif architecture == "carry-select":
+        sums, cout = carry_select_adder(circuit, a, b)
+    elif architecture == "lookahead":
+        sums, cout = carry_lookahead_adder(circuit, a, b)
+    elif architecture == "kogge-stone":
+        sums, cout = kogge_stone_adder(circuit, a, b)
+    else:
+        raise ValueError(f"unknown adder architecture {architecture!r}")
+    circuit.mark_output_word(sums, "s")
+    circuit.mark_output(cout, "cout")
+    return circuit, {"a": a, "b": b, "sums": sums, "cout": cout}
+
+
+ARCHITECTURES = ("ripple", "carry-select", "lookahead", "kogge-stone")
+
+
+def adder_architecture_experiment(
+    n_bits: int = 16,
+    n_vectors: int = 500,
+    seed: int = 1995,
+) -> Dict[str, Any]:
+    """Activity and structure of four adder architectures.
+
+    Returns one row per architecture with depth (levels), cell count,
+    total/useful/useless transitions and L/F.
+    """
+    rows: List[Dict[str, Any]] = []
+    for architecture in ARCHITECTURES:
+        circuit, ports = _build(architecture, n_bits)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        rng = random.Random(seed)
+        result = analyze(circuit, stim.random(rng, n_vectors + 1))
+        summary = result.summary()
+        rows.append(
+            {
+                "architecture": architecture,
+                "cells": len(circuit.cells),
+                "depth": circuit.critical_path_length(),
+                "total": summary["total"],
+                "useful": summary["useful"],
+                "useless": summary["useless"],
+                "L/F": summary["L/F"],
+            }
+        )
+    return {"n_bits": n_bits, "n_vectors": n_vectors, "rows": rows}
+
+
+def format_adder_sweep(data: Dict[str, Any]) -> str:
+    headers = list(data["rows"][0].keys())
+    return format_table(
+        headers,
+        [[r[h] for h in headers] for r in data["rows"]],
+        title=(
+            f"Adder architectures — {data['n_bits']} bits, "
+            f"{data['n_vectors']} random vectors"
+        ),
+    )

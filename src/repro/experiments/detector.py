@@ -1,0 +1,74 @@
+"""E4 — direction-detector transition activity (paper Section 4.2).
+
+The paper simulated the Phideo direction detector with unit delay and
+4320 random inputs, finding 272842 useful and 1033970 useless
+transitions: L/F = 3.79, i.e. balancing all delay paths would cut
+combinational activity by 1 + 3.79 ~= 4.8x.  This driver regenerates
+those numbers on our reconstruction of the Figure 8 datapath.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.circuits.direction_detector import build_direction_detector
+from repro.core.activity import analyze
+from repro.sim.delays import DelayModel, UnitDelay
+from repro.sim.vectors import WordStimulus
+
+#: The paper's measured values, for side-by-side reporting.
+PAPER_USEFUL = 272842
+PAPER_USELESS = 1033970
+PAPER_RATIO = 3.79
+
+
+def detector_stimulus(ports) -> WordStimulus:
+    """Word stimulus over the six pixel inputs of the detector."""
+    words = {f"a{k}": ports.a[k] for k in range(3)}
+    words.update({f"b{k}": ports.b[k] for k in range(3)})
+    return WordStimulus(words)
+
+
+def section42_experiment(
+    n_vectors: int = 4320,
+    width: int = 8,
+    threshold: int = 16,
+    seed: int = 1995,
+    delay_model: DelayModel | None = None,
+) -> Dict[str, Any]:
+    """Measure useful/useless activity of the direction detector.
+
+    Returns the simulated summary plus the paper's reference numbers
+    and the derived balanced-activity reduction bound (1 + L/F).
+    """
+    circuit, ports = build_direction_detector(width=width, threshold=threshold)
+    stim = detector_stimulus(ports)
+    rng = random.Random(seed)
+    result = analyze(
+        circuit,
+        stim.random(rng, n_vectors + 1),
+        delay_model=delay_model or UnitDelay(),
+    )
+    summary = result.summary()
+    return {
+        "n_vectors": n_vectors,
+        "width": width,
+        "threshold": threshold,
+        "useful": summary["useful"],
+        "useless": summary["useless"],
+        "total": summary["total"],
+        "L/F": summary["L/F"],
+        "reduction_bound": summary["reduction_bound"],
+        "paper": {
+            "useful": PAPER_USEFUL,
+            "useless": PAPER_USELESS,
+            "L/F": PAPER_RATIO,
+            "reduction_bound": 1 + PAPER_RATIO,
+        },
+        "per_stage": {
+            "d_left": result.restrict(ports.d_left).summary(),
+            "d_mid": result.restrict(ports.d_mid).summary(),
+            "d_right": result.restrict(ports.d_right).summary(),
+        },
+    }

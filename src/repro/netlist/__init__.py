@@ -1,0 +1,36 @@
+"""Gate/cell-level netlist data model.
+
+A :class:`~repro.netlist.circuit.Circuit` is a flat network of
+multi-output cells connected by single-driver nets, with designated
+primary inputs, primary outputs and D-flipflops.  This is the substrate
+on which the event-driven simulator (:mod:`repro.sim`), the retiming
+engine (:mod:`repro.retime`) and the transition-activity analysis
+(:mod:`repro.core`) operate.
+"""
+
+from repro.netlist.cells import (
+    CellKind,
+    Cell,
+    COMBINATIONAL_KINDS,
+    SEQUENTIAL_KINDS,
+    evaluate_kind,
+)
+from repro.netlist.circuit import Circuit, Net
+from repro.netlist.validate import ValidationIssue, ValidationError, validate
+from repro.netlist.io import circuit_to_json, circuit_from_json, circuit_to_dot
+
+__all__ = [
+    "CellKind",
+    "Cell",
+    "Circuit",
+    "Net",
+    "COMBINATIONAL_KINDS",
+    "SEQUENTIAL_KINDS",
+    "evaluate_kind",
+    "ValidationIssue",
+    "ValidationError",
+    "validate",
+    "circuit_to_json",
+    "circuit_from_json",
+    "circuit_to_dot",
+]

@@ -1,0 +1,180 @@
+"""Retiming-graph extraction.
+
+The Leiserson–Saxe model views a synchronous circuit as a directed
+multigraph ``G = (V, E, d, w)``: vertices are combinational cells with
+propagation delay ``d(v)``, edges are signal paths carrying ``w(e)``
+registers, and a zero-delay *host* vertex closes the graph through the
+primary inputs and outputs.  A retiming ``r: V -> Z`` (with
+``r(host) = 0``) relocates registers: the retimed edge weight is
+``w_r(e) = w(e) + r(dst) - r(src)``, which must stay non-negative.
+
+:class:`RetimingGraph` extracts this model from a
+:class:`~repro.netlist.circuit.Circuit` by collapsing DFF chains on
+every cell-input and primary-output path into edge weights, remembering
+enough provenance (source net, destination pin) for
+:func:`repro.retime.apply.apply_retiming` to rebuild a netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.sim.delays import DelayModel, UnitDelay
+
+#: Vertex ids of the host (I/O) vertices; real vertices are cell indices.
+#: The host is split into a source side (primary inputs) and a sink side
+#: (primary outputs) so that purely combinational circuits do not form a
+#: spurious zero-register cycle through the environment.  Both halves
+#: are pinned at lag 0, so input-to-output latency is preserved exactly
+#: by any legal retiming.
+HOST = -1  # source side: drives the primary inputs
+HOST_OUT = -2  # sink side: consumes the primary outputs
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One edge instance of the retiming graph.
+
+    ``src``/``dst`` are vertices (combinational cell indices or
+    :data:`HOST`); ``src_net`` is the original net that carries the
+    signal at the source side (a combinational cell output or a primary
+    input); ``dst_pin`` is the input-pin position on the destination
+    cell, or the primary-output slot index when ``dst`` is the host;
+    ``weight`` counts the D-flipflops collapsed from the original path.
+    """
+
+    src: int
+    src_net: int
+    dst: int
+    dst_pin: int
+    weight: int
+
+
+class RetimingGraph:
+    """The extracted graph plus vertex delays."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        vertices: List[int],
+        delay: Dict[int, int],
+        connections: List[Connection],
+    ) -> None:
+        self.circuit = circuit
+        self.vertices = vertices
+        self.delay = delay
+        self.connections = connections
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_circuit(
+        cls, circuit: Circuit, delay_model: DelayModel | None = None
+    ) -> "RetimingGraph":
+        """Extract the retiming graph of *circuit*.
+
+        Vertex delay is the maximum per-output delay of the cell under
+        *delay_model* (default unit delay).  Every DFF must lie on a
+        path between combinational cells / ports; cyclic FF-only loops
+        are rejected.
+        """
+        delay_model = delay_model or UnitDelay()
+        vertices = [c.index for c in circuit.cells if not c.is_sequential]
+        delay: Dict[int, int] = {HOST: 0}
+        for ci in vertices:
+            cell = circuit.cells[ci]
+            delay[ci] = max(
+                delay_model.delay(cell, pos) for pos in range(len(cell.outputs))
+            )
+
+        input_set = set(circuit.inputs)
+
+        def trace_back(net: int) -> Tuple[int, int, int]:
+            """Walk through DFF drivers; return (src_vertex, src_net, weight)."""
+            weight = 0
+            seen = set()
+            while True:
+                driver = circuit.nets[net].driver
+                if driver is None:
+                    if net not in input_set:
+                        raise ValueError(
+                            f"net {circuit.net_name(net)!r} is undriven and "
+                            "not a primary input"
+                        )
+                    return HOST, net, weight
+                cell = circuit.cells[driver[0]]
+                if not cell.is_sequential:
+                    return cell.index, net, weight
+                if cell.index in seen:
+                    raise ValueError(
+                        "flipflop-only cycle detected at "
+                        f"{cell.name!r}; retiming graph undefined"
+                    )
+                seen.add(cell.index)
+                weight += 1
+                net = cell.inputs[0]
+
+        connections: List[Connection] = []
+        for ci in vertices:
+            cell = circuit.cells[ci]
+            for pin, net in enumerate(cell.inputs):
+                src, src_net, weight = trace_back(net)
+                connections.append(
+                    Connection(src, src_net, ci, pin, weight)
+                )
+        for slot, net in enumerate(circuit.outputs):
+            src, src_net, weight = trace_back(net)
+            connections.append(Connection(src, src_net, HOST_OUT, slot, weight))
+        delay[HOST_OUT] = 0
+        return cls(circuit, vertices, delay, connections)
+
+    # ------------------------------------------------------------------
+    def with_output_stages(self, stages: int) -> "RetimingGraph":
+        """A copy with *stages* extra registers on every edge into the host.
+
+        This seeds pipelining: the FEAS retiming then pulls the seeded
+        registers backwards into the combinational fabric to meet the
+        target period (paper Section 5's "introducing flipflops using
+        retiming and pipelining").
+        """
+        if stages < 0:
+            raise ValueError("stage count cannot be negative")
+        connections = [
+            replace(c, weight=c.weight + stages) if c.dst == HOST_OUT else c
+            for c in self.connections
+        ]
+        return RetimingGraph(self.circuit, self.vertices, self.delay, connections)
+
+    # ------------------------------------------------------------------
+    def retimed_weight(self, conn: Connection, r: Mapping[int, int]) -> int:
+        """``w_r(e) = w(e) + r(dst) - r(src)`` for one connection."""
+        return conn.weight + r.get(conn.dst, 0) - r.get(conn.src, 0)
+
+    def is_legal(self, r: Mapping[int, int]) -> bool:
+        """True iff host lags are 0 and every retimed weight is non-negative."""
+        if r.get(HOST, 0) != 0 or r.get(HOST_OUT, 0) != 0:
+            return False
+        return all(self.retimed_weight(c, r) >= 0 for c in self.connections)
+
+    def count_flipflops(self, r: Mapping[int, int] | None = None) -> int:
+        """Flipflop count after retiming *r*, with chain sharing.
+
+        Flipflops on connections that share a driving net are merged
+        into a single chain tapped at different depths (what
+        :func:`~repro.retime.apply.apply_retiming` builds), so each
+        distinct source net costs ``max`` — not ``sum`` — of its
+        connection weights.
+        """
+        r = r or {}
+        depth_by_net: Dict[int, int] = {}
+        for c in self.connections:
+            w = self.retimed_weight(c, r)
+            if w < 0:
+                raise ValueError("illegal retiming: negative edge weight")
+            depth_by_net[c.src_net] = max(depth_by_net.get(c.src_net, 0), w)
+        return sum(depth_by_net.values())
+
+    def connection_map(self) -> Dict[Tuple[int, int], Connection]:
+        """``{(dst_vertex, dst_pin): connection}`` for netlist rebuild."""
+        return {(c.dst, c.dst_pin): c for c in self.connections}

@@ -1,0 +1,146 @@
+"""Leiserson–Saxe FEAS retiming and minimum-period search.
+
+``FEAS(G, c)`` decides whether clock period *c* is achievable by
+retiming and produces a legal retiming when it is:
+
+1. start with ``r(v) = 0``;
+2. repeat ``|V| - 1`` times: compute the combinational arrival time
+   ``Delta(v)`` in the retimed graph (longest zero-weight path ending
+   at *v*, including ``d(v)``); increment ``r(v)`` for every vertex
+   with ``Delta(v) > c``;
+3. feasible iff afterwards ``max Delta <= c``.
+
+This is O(|V| * |E|) per candidate period; the minimum period is found
+by binary search between the largest single-vertex delay and the
+unretimed critical path.  Exact for the integer delays used throughout
+this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.retime.graph import HOST, HOST_OUT, RetimingGraph
+from repro.sim.delays import DelayModel, UnitDelay
+
+
+def combinational_delays(
+    circuit: Circuit, delay_model: DelayModel | None = None
+) -> Dict[int, int]:
+    """Per-combinational-cell delay = max over its outputs' delays."""
+    delay_model = delay_model or UnitDelay()
+    return {
+        c.index: max(
+            delay_model.delay(c, pos) for pos in range(len(c.outputs))
+        )
+        for c in circuit.cells
+        if not c.is_sequential
+    }
+
+
+def _arrival_times(
+    graph: RetimingGraph, r: Dict[int, int]
+) -> Optional[Dict[int, int]]:
+    """Longest-path arrival per vertex over zero-weight retimed edges.
+
+    Returns ``None`` when the zero-weight subgraph has a cycle (i.e.
+    the retiming leaves a register-free loop — infeasible).
+    """
+    vertices = [HOST, HOST_OUT] + list(graph.vertices)
+    zero_in: Dict[int, list[int]] = {v: [] for v in vertices}
+    out_edges: Dict[int, list[int]] = {v: [] for v in vertices}
+    indeg: Dict[int, int] = {v: 0 for v in vertices}
+    for conn in graph.connections:
+        w = graph.retimed_weight(conn, r)
+        if w < 0:
+            return None
+        if w == 0 and conn.src != conn.dst:
+            zero_in[conn.dst].append(conn.src)
+            out_edges[conn.src].append(conn.dst)
+            indeg[conn.dst] += 1
+        elif w == 0 and conn.src == conn.dst:
+            return None  # zero-weight self loop
+    arrival: Dict[int, int] = {}
+    ready = [v for v in vertices if indeg[v] == 0]
+    processed = 0
+    order: list[int] = []
+    while ready:
+        v = ready.pop()
+        order.append(v)
+        processed += 1
+        for succ in out_edges[v]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if processed != len(vertices):
+        return None  # zero-weight cycle
+    for v in order:
+        incoming = zero_in[v]
+        base = max((arrival[u] for u in incoming), default=0)
+        arrival[v] = base + graph.delay[v]
+    return arrival
+
+
+def feas(
+    graph: RetimingGraph, period: int
+) -> Optional[Dict[int, int]]:
+    """Return a legal retiming achieving *period*, or ``None``.
+
+    ``r`` maps vertices to integer lags; the host is pinned at 0.
+    """
+    if period < max(graph.delay.values(), default=0):
+        return None
+    r: Dict[int, int] = {v: 0 for v in graph.vertices}
+    r[HOST] = 0
+    r[HOST_OUT] = 0
+    for _ in range(max(len(graph.vertices) - 1, 0)):
+        arrival = _arrival_times(graph, r)
+        if arrival is None:
+            return None
+        changed = False
+        for v in graph.vertices:
+            if arrival[v] > period:
+                r[v] += 1
+                changed = True
+        if not changed:
+            break
+    arrival = _arrival_times(graph, r)
+    if arrival is None or max(arrival.values()) > period:
+        return None
+    if not graph.is_legal(r):
+        return None
+    return r
+
+
+def retime_for_period(
+    graph: RetimingGraph, period: int
+) -> Dict[int, int]:
+    """Like :func:`feas` but raises ``ValueError`` when infeasible."""
+    r = feas(graph, period)
+    if r is None:
+        raise ValueError(f"no retiming achieves period {period}")
+    return r
+
+
+def minimum_period(
+    graph: RetimingGraph,
+) -> Tuple[int, Dict[int, int]]:
+    """Binary-search the smallest achievable period; returns ``(c, r)``."""
+    arrival0 = _arrival_times(graph, {v: 0 for v in graph.vertices})
+    if arrival0 is None:
+        raise ValueError("circuit has a register-free cycle; no legal period")
+    hi = max(arrival0.values())
+    lo = max(graph.delay.values(), default=0)
+    best_r = feas(graph, hi)
+    assert best_r is not None, "unretimed period must be feasible"
+    best_c = hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        r = feas(graph, mid)
+        if r is not None:
+            best_c, best_r = mid, r
+            hi = mid
+        else:
+            lo = mid + 1
+    return best_c, best_r

@@ -1,0 +1,48 @@
+"""Event-driven gate/cell-level logic simulation.
+
+The simulator propagates value changes through a
+:class:`~repro.netlist.circuit.Circuit` in integer "delta time" within
+each clock cycle (transport delay, last-write-wins per net and time
+slot), exactly the delta-time model of the paper's Figure 3.  Delay
+models are pluggable (:mod:`repro.sim.delays`), enabling the paper's
+unit-delay experiments (Table 1) and the ``dsum = 2*dcarry`` refinement
+(Table 2) without touching the netlist.
+"""
+
+from repro.sim.delays import (
+    DelayModel,
+    UnitDelay,
+    ZeroDelay,
+    PerKindDelay,
+    SumCarryDelay,
+    HintedDelay,
+    LoadDelay,
+)
+from repro.sim.engine import Simulator, CycleTrace
+from repro.sim.vectors import (
+    WordStimulus,
+    random_words,
+    correlated_words,
+    walking_ones,
+    gray_sequence,
+)
+from repro.sim.vcd import VcdWriter, dump_vcd
+
+__all__ = [
+    "DelayModel",
+    "UnitDelay",
+    "ZeroDelay",
+    "PerKindDelay",
+    "SumCarryDelay",
+    "HintedDelay",
+    "LoadDelay",
+    "Simulator",
+    "CycleTrace",
+    "WordStimulus",
+    "random_words",
+    "correlated_words",
+    "walking_ones",
+    "gray_sequence",
+    "VcdWriter",
+    "dump_vcd",
+]

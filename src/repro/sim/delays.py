@@ -1,0 +1,161 @@
+"""Delay models mapping (cell, output position) -> integer delta-time delay.
+
+The paper's experiments use three delay regimes, all expressible here:
+
+* **unit delay per full-adder stage** (Section 3, Table 1):
+  :class:`UnitDelay` — every cell output switches one delta after its
+  latest input change;
+* **dsum = 2·dcarry** (Table 2): :class:`SumCarryDelay` — the sum
+  output of FA/HA cells is slower than the carry output, reflecting the
+  real two-XOR sum path vs. the AND-OR carry path;
+* arbitrary per-kind or per-instance delays (:class:`PerKindDelay`,
+  :class:`HintedDelay`) for ablations.
+
+Delays must be >= 1 for combinational cells: a zero intra-cycle delay
+would merge cause and effect into one delta slot and hide glitches.
+:class:`ZeroDelay` is provided only for functional (non-activity)
+simulation and is rejected by the activity analyser.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.netlist.cells import Cell, CellKind
+
+
+class DelayModel:
+    """Base class: integer delay of *cell*'s output at *position*."""
+
+    def delay(self, cell: Cell, position: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable name used in experiment reports."""
+        return type(self).__name__
+
+
+class UnitDelay(DelayModel):
+    """Every combinational cell output has delay 1 (the paper's default)."""
+
+    def delay(self, cell: Cell, position: int) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return "unit delay"
+
+
+class ZeroDelay(DelayModel):
+    """All outputs switch in the same delta (functional simulation only)."""
+
+    def delay(self, cell: Cell, position: int) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "zero delay"
+
+
+class PerKindDelay(DelayModel):
+    """Delays looked up per cell kind, with a default.
+
+    ``PerKindDelay({CellKind.XOR: 2}, default=1)`` models XOR gates
+    twice as slow as everything else.  For two-output kinds the same
+    delay applies to both outputs; use :class:`SumCarryDelay` to split
+    them.
+    """
+
+    def __init__(self, table: Mapping[CellKind, int], default: int = 1):
+        for kind, d in table.items():
+            if d < 0:
+                raise ValueError(f"negative delay for {kind}")
+        self._table = dict(table)
+        self._default = default
+
+    def delay(self, cell: Cell, position: int) -> int:
+        return self._table.get(cell.kind, self._default)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{k.value}={d}" for k, d in sorted(self._table.items(), key=lambda kv: kv[0].value)
+        )
+        return f"per-kind delay ({parts}; default {self._default})"
+
+
+class SumCarryDelay(DelayModel):
+    """FA/HA cells with distinct sum and carry delays; others fixed.
+
+    ``SumCarryDelay(dsum=2, dcarry=1)`` reproduces the paper's Table 2
+    refinement: "the delay of the sum calculation in a full adder is
+    about twice as large as the delay of the carry calculation".
+    """
+
+    def __init__(self, dsum: int = 2, dcarry: int = 1, other: int = 1):
+        if min(dsum, dcarry, other) < 1:
+            raise ValueError("combinational delays must be >= 1")
+        self.dsum = dsum
+        self.dcarry = dcarry
+        self.other = other
+
+    def delay(self, cell: Cell, position: int) -> int:
+        if cell.kind in (CellKind.FA, CellKind.HA):
+            return self.dsum if position == 0 else self.dcarry
+        return self.other
+
+    def describe(self) -> str:
+        return f"dsum={self.dsum}, dcarry={self.dcarry} (others {self.other})"
+
+
+class LoadDelay(DelayModel):
+    """Fanout-dependent delay: heavily loaded outputs switch later.
+
+    ``delay = base + extra_per_load * (fanout - 1)`` (integer units),
+    clamped to at least 1.  This first-order RC picture adds the
+    load-induced skew real layouts have on top of logic depth — an
+    ablation between the paper's pure unit-delay model and extracted
+    timing.  Bound to one circuit at construction because fanout is a
+    netlist property.
+    """
+
+    def __init__(self, circuit, base: int = 1, extra_per_load: int = 1,
+                 loads_per_unit: int = 3):
+        if base < 1:
+            raise ValueError("base delay must be >= 1")
+        if loads_per_unit < 1:
+            raise ValueError("loads_per_unit must be >= 1")
+        self._base = base
+        self._extra = extra_per_load
+        self._per = loads_per_unit
+        self._fanout = {
+            net.index: len(net.fanout) for net in circuit.nets
+        }
+        self._circuit_name = circuit.name
+
+    def delay(self, cell: Cell, position: int) -> int:
+        fanout = self._fanout.get(cell.outputs[position], 1)
+        extra = self._extra * (max(fanout, 1) - 1) // self._per
+        return max(1, self._base + extra)
+
+    def describe(self) -> str:
+        return (
+            f"load-dependent delay on {self._circuit_name!r} "
+            f"(base {self._base}, +{self._extra}/{self._per} loads)"
+        )
+
+
+class HintedDelay(DelayModel):
+    """Honour per-instance ``delay_hint`` tuples, falling back to *fallback*.
+
+    Used by the path-balancing pass, which re-times individual buffer
+    cells by giving them explicit delays.
+    """
+
+    def __init__(self, fallback: DelayModel | None = None):
+        self._fallback = fallback or UnitDelay()
+
+    def delay(self, cell: Cell, position: int) -> int:
+        if cell.delay_hint is not None and position < len(cell.delay_hint):
+            return cell.delay_hint[position]
+        return self._fallback.delay(cell, position)
+
+    def describe(self) -> str:
+        return f"instance hints over {self._fallback.describe()}"

@@ -1,0 +1,45 @@
+"""Clock-line capacitance and power model.
+
+Paper, Section 5: "Because extra clock circuitry is necessary when more
+flipflops are inserted in the circuit, this capacitance will increase."
+The observed Table 3 clock loads are almost exactly affine in the
+flipflop count (3.2 pF @ 48 FFs ... 19.9 pF @ 350 FFs, slope ~55 fF per
+flipflop), so the model is
+
+    C_clock(n_ff) = base_cap + cap_per_ff * n_ff
+
+and clock power is one full charge/discharge of that load per cycle:
+``P = C_clock * Vdd^2 * f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_FF = 1e-15
+_PF = 1e-12
+
+
+@dataclass(frozen=True)
+class ClockTreeModel:
+    """Affine clock-load model (defaults fitted to the paper's Table 3)."""
+
+    base_cap: float = 0.55 * _PF  # driver + trunk wiring [F]
+    cap_per_ff: float = 55 * _FF  # clock pin + local branch wiring [F]
+
+    def capacitance(self, n_flipflops: int) -> float:
+        """Total clock load for *n_flipflops* [F]."""
+        if n_flipflops < 0:
+            raise ValueError("flipflop count cannot be negative")
+        return self.base_cap + self.cap_per_ff * n_flipflops
+
+    def power(self, n_flipflops: int, vdd: float, frequency: float) -> float:
+        """Clock-line dynamic power [W].
+
+        The clock toggles twice per cycle but draws supply charge on
+        the rising edge only, i.e. exactly one ``C * Vdd^2`` per cycle
+        (paper eq. 1 with transition probability 1).
+        """
+        if vdd <= 0 or frequency <= 0:
+            raise ValueError("vdd and frequency must be positive")
+        return self.capacitance(n_flipflops) * vdd**2 * frequency

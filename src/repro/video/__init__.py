@@ -1,0 +1,37 @@
+"""Synthetic video substrate for the direction-detector workload.
+
+The paper's direction detector implements the core of a progressive
+scan conversion algorithm [paper ref. 6]: interlaced fields are
+de-interlaced by interpolating each missing pixel along the local edge
+direction detected between the line above and the line below.  The
+authors ran the unit inside Phideo on real video; we do not have their
+material, so this package synthesises fields with known edge structure
+(moving diagonal ramps + noise), drives the detector with them, and —
+because ground truth is known — can also score detection quality.
+
+This is the documented substitution for the paper's video data (see
+DESIGN.md) and powers the A5 ablation: the paper claims video
+correlation is destroyed "immediately after the absolute differences
+are taken", so glitch statistics under real video should resemble the
+random-input numbers of Section 4.2.
+"""
+
+from repro.video.frames import (
+    diagonal_edge_field,
+    moving_sequence,
+    add_noise,
+)
+from repro.video.scan import (
+    detector_sites,
+    site_vectors,
+    deinterlace_frame,
+)
+
+__all__ = [
+    "diagonal_edge_field",
+    "moving_sequence",
+    "add_noise",
+    "detector_sites",
+    "site_vectors",
+    "deinterlace_frame",
+]

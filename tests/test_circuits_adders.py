@@ -1,0 +1,153 @@
+"""Functional tests for every adder architecture."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.adders import (
+    build_rca_circuit,
+    carry_lookahead_adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.netlist.circuit import Circuit, int_to_bits
+from repro.netlist.validate import validate
+from repro.sim.engine import Simulator
+from repro.sim.vectors import WordStimulus
+
+
+def _build(architecture: str, n_bits: int):
+    c = Circuit(f"{architecture}{n_bits}")
+    a = c.add_input_word("a", n_bits)
+    b = c.add_input_word("b", n_bits)
+    if architecture == "ripple":
+        sums, carries = ripple_carry_adder(c, a, b)
+        cout = carries[-1]
+    elif architecture == "ripple-gates":
+        cin = c.add_input("cin")
+        sums, carries = ripple_carry_adder(c, a, b, cin, gate_level=True)
+        cout = carries[-1]
+    elif architecture == "lookahead":
+        sums, cout = carry_lookahead_adder(c, a, b)
+    elif architecture == "carry-select":
+        sums, cout = carry_select_adder(c, a, b)
+    elif architecture == "kogge-stone":
+        sums, cout = kogge_stone_adder(c, a, b)
+    else:
+        raise AssertionError(architecture)
+    c.mark_output_word(sums, "s")
+    c.mark_output(cout, "cout")
+    return c, a, b, sums, cout
+
+
+ARCHS = ["ripple", "ripple-gates", "lookahead", "carry-select", "kogge-stone"]
+
+
+@pytest.mark.parametrize("architecture", ARCHS)
+def test_exhaustive_4bit(architecture):
+    c, a, b, sums, cout = _build(architecture, 4)
+    assert not [i for i in validate(c) if i.severity == "error"]
+    values_cache = {}
+    for av in range(16):
+        for bv in range(16):
+            bits = int_to_bits(av, 4) + int_to_bits(bv, 4)
+            if architecture == "ripple-gates":
+                bits += [0]
+            values, _ = c.evaluate(bits)
+            got = sum(values[n] << i for i, n in enumerate(sums))
+            got |= values[cout] << 4
+            assert got == av + bv, (architecture, av, bv)
+    del values_cache
+
+
+@pytest.mark.parametrize("architecture", ARCHS)
+@settings(max_examples=25, deadline=None)
+@given(
+    av=st.integers(min_value=0, max_value=2**16 - 1),
+    bv=st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_random_16bit_property(architecture, av, bv):
+    c, a, b, sums, cout = _build(architecture, 16)
+    bits = int_to_bits(av, 16) + int_to_bits(bv, 16)
+    if architecture == "ripple-gates":
+        bits += [0]
+    values, _ = c.evaluate(bits)
+    got = sum(values[n] << i for i, n in enumerate(sums))
+    got |= values[cout] << 16
+    assert got == av + bv
+
+
+def test_rca_with_carry_in():
+    c = Circuit("rca_cin")
+    a = c.add_input_word("a", 5)
+    b = c.add_input_word("b", 5)
+    cin = c.add_input("cin")
+    sums, carries = ripple_carry_adder(c, a, b, cin)
+    c.mark_output_word(sums, "s")
+    c.mark_output(carries[-1], "cout")
+    for av in (0, 7, 31):
+        for bv in (0, 19, 31):
+            for ci in (0, 1):
+                bits = int_to_bits(av, 5) + int_to_bits(bv, 5) + [ci]
+                values, _ = c.evaluate(bits)
+                got = sum(values[n] << i for i, n in enumerate(sums))
+                got |= values[carries[-1]] << 5
+                assert got == av + bv + ci
+
+
+def test_rca_event_simulation_matches(rng):
+    """The event-driven simulator agrees with functional evaluation."""
+    c, ports = build_rca_circuit(12, with_cin=False)
+    stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+    sim = Simulator(c)
+    sim.settle(stim.vector(a=0, b=0))
+    for _ in range(100):
+        av, bv = rng.randint(0, 4095), rng.randint(0, 4095)
+        sim.step(stim.vector(a=av, b=bv))
+        got = sim.word_value(ports["sums"])
+        got |= sim.values[ports["carries"][-1]] << 12
+        assert got == av + bv
+
+
+def test_build_rca_ports_structure():
+    c, ports = build_rca_circuit(8)
+    assert len(ports["sums"]) == 8
+    assert len(ports["carries"]) == 8
+    assert ports["cin"] is not None
+    c2, ports2 = build_rca_circuit(8, with_cin=False)
+    assert ports2["cin"] is None
+    # Without a carry-in the first stage degenerates to a half adder.
+    assert c2.kind_histogram()["HA"] == 1
+
+
+def test_rca_carry_chain_depth():
+    """The carry chain makes the RCA depth linear in width."""
+    c8, _ = build_rca_circuit(8, with_cin=False)
+    c16, _ = build_rca_circuit(16, with_cin=False)
+    assert c16.critical_path_length() == c8.critical_path_length() + 8
+
+
+def test_kogge_stone_log_depth():
+    c = Circuit("ks")
+    a = c.add_input_word("a", 16)
+    b = c.add_input_word("b", 16)
+    sums, cout = kogge_stone_adder(c, a, b)
+    c.mark_output_word(sums, "s")
+    c.mark_output(cout)
+    # pg (1) + log2(16) prefix levels of AND+OR (8) + sum XOR (1) = 10,
+    # well below the ripple adder's 16 and flattening with width.
+    assert c.critical_path_length() <= 10
+
+
+def test_bad_operand_widths_rejected():
+    c = Circuit("t")
+    a = c.add_input_word("a", 4)
+    b = c.add_input_word("b", 3)
+    with pytest.raises(ValueError):
+        ripple_carry_adder(c, a, b)
+    with pytest.raises(ValueError):
+        kogge_stone_adder(c, a, b)
+    with pytest.raises(ValueError):
+        carry_select_adder(c, a, b)
+    with pytest.raises(ValueError):
+        carry_lookahead_adder(c, a, b)

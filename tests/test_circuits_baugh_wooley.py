@@ -1,0 +1,83 @@
+"""Tests for the signed (Baugh-Wooley) multiplier extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.multipliers import (
+    baugh_wooley_multiplier,
+    build_multiplier_circuit,
+)
+from repro.netlist.circuit import Circuit, int_to_bits
+from repro.netlist.validate import validate
+
+
+def _to_signed(value: int, bits: int) -> int:
+    return value - (1 << bits) if value >= (1 << (bits - 1)) else value
+
+
+def _product(circuit, ports, xv, yv, n):
+    bits = int_to_bits(xv, n) + int_to_bits(yv, n)
+    values, _ = circuit.evaluate(bits)
+    return sum(values[net] << i for i, net in enumerate(ports["product"]))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_exhaustive_signed(n):
+    circuit, ports = build_multiplier_circuit(n, "baugh-wooley")
+    assert not [i for i in validate(circuit) if i.severity == "error"]
+    mask = (1 << (2 * n)) - 1
+    for xv in range(1 << n):
+        for yv in range(1 << n):
+            got = _product(circuit, ports, xv, yv, n)
+            want = (_to_signed(xv, n) * _to_signed(yv, n)) & mask
+            assert got == want, (xv, yv)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    xv=st.integers(min_value=-128, max_value=127),
+    yv=st.integers(min_value=-128, max_value=127),
+)
+def test_random_8x8_signed_property(xv, yv):
+    circuit, ports = build_multiplier_circuit(8, "baugh-wooley")
+    got = _product(circuit, ports, xv & 0xFF, yv & 0xFF, 8)
+    assert _to_signed(got, 16) == xv * yv
+
+
+class TestStructure:
+    def test_uses_nand_for_sign_rows(self):
+        circuit, _ = build_multiplier_circuit(6, "baugh-wooley")
+        hist = circuit.kind_histogram()
+        assert hist["NAND"] == 2 * (6 - 1)  # one row + one column of NANDs
+        assert hist["AND"] == (6 - 1) ** 2 + 1
+        assert hist["CONST1"] == 2  # the two correction constants
+
+    def test_requires_square_operands(self):
+        c = Circuit("t")
+        x = c.add_input_word("x", 4)
+        y = c.add_input_word("y", 3)
+        with pytest.raises(ValueError, match="equal operand widths"):
+            baugh_wooley_multiplier(c, x, y)
+
+    def test_requires_two_bits(self):
+        c = Circuit("t")
+        x = c.add_input_word("x", 1)
+        y = c.add_input_word("y", 1)
+        with pytest.raises(ValueError, match="at least 2-bit"):
+            baugh_wooley_multiplier(c, x, y)
+
+
+def test_signed_multiplier_is_balanced_like_wallace(rng):
+    """BW uses the same tree reduction, so it should glitch like the
+    Wallace multiplier, not like the array."""
+    from repro.core.activity import analyze
+    from repro.sim.vectors import WordStimulus
+
+    ratios = {}
+    for arch in ("baugh-wooley", "wallace", "array"):
+        circuit, ports = build_multiplier_circuit(8, arch)
+        stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+        result = analyze(circuit, stim.random(rng, 121))
+        ratios[arch] = result.useless_useful_ratio()
+    assert ratios["baugh-wooley"] < ratios["array"]
+    assert ratios["baugh-wooley"] < 2 * ratios["wallace"]

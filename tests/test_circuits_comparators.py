@@ -1,0 +1,195 @@
+"""Functional tests for comparators, min/max, subtract and abs-diff."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.comparators import (
+    abs_diff,
+    equality,
+    greater_than,
+    maximum,
+    min_max,
+    minimum,
+    mux_word,
+    subtractor,
+)
+from repro.circuits.primitives import constant_word, full_adder_gates, reduce_tree
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit, int_to_bits
+from repro.netlist.validate import validate
+
+
+def _two_word_circuit(width):
+    c = Circuit("t")
+    a = c.add_input_word("a", width)
+    b = c.add_input_word("b", width)
+    return c, a, b
+
+
+def _eval(c, a_nets, b_nets, av, bv, width):
+    bits = int_to_bits(av, width) + int_to_bits(bv, width)
+    values, _ = c.evaluate(bits)
+    return values
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+def test_greater_than_exhaustive(width):
+    c, a, b = _two_word_circuit(width)
+    gt = greater_than(c, a, b)
+    c.mark_output(gt)
+    for av in range(1 << width):
+        for bv in range(1 << width):
+            values = _eval(c, a, b, av, bv, width)
+            assert values[gt] == int(av > bv), (av, bv)
+
+
+@pytest.mark.parametrize("width", [1, 3, 4])
+def test_equality_exhaustive(width):
+    c, a, b = _two_word_circuit(width)
+    eq = equality(c, a, b)
+    c.mark_output(eq)
+    for av in range(1 << width):
+        for bv in range(1 << width):
+            values = _eval(c, a, b, av, bv, width)
+            assert values[eq] == int(av == bv)
+
+
+@pytest.mark.parametrize("width", [2, 4])
+def test_min_max_exhaustive(width):
+    c, a, b = _two_word_circuit(width)
+    lo, hi, gt = min_max(c, a, b)
+    c.mark_output_word(lo, "lo")
+    c.mark_output_word(hi, "hi")
+    c.mark_output(gt)
+    for av in range(1 << width):
+        for bv in range(1 << width):
+            values = _eval(c, a, b, av, bv, width)
+            lo_v = sum(values[n] << i for i, n in enumerate(lo))
+            hi_v = sum(values[n] << i for i, n in enumerate(hi))
+            assert lo_v == min(av, bv)
+            assert hi_v == max(av, bv)
+
+
+def test_minimum_maximum_single_sided():
+    width = 3
+    c, a, b = _two_word_circuit(width)
+    lo, gt1 = minimum(c, a, b, prefix="mn")
+    hi, gt2 = maximum(c, a, b, prefix="mx")
+    c.mark_output_word(lo, "lo")
+    c.mark_output_word(hi, "hi")
+    c.mark_output(gt1)
+    c.mark_output(gt2)
+    assert not [i for i in validate(c) if i.severity == "error"]
+    for av in range(8):
+        for bv in range(8):
+            values = _eval(c, a, b, av, bv, width)
+            assert sum(values[n] << i for i, n in enumerate(lo)) == min(av, bv)
+            assert sum(values[n] << i for i, n in enumerate(hi)) == max(av, bv)
+
+
+@pytest.mark.parametrize("width", [1, 2, 4])
+def test_subtractor_exhaustive(width):
+    c, a, b = _two_word_circuit(width)
+    diff, no_borrow = subtractor(c, a, b)
+    c.mark_output_word(diff, "d")
+    c.mark_output(no_borrow)
+    mask = (1 << width) - 1
+    for av in range(1 << width):
+        for bv in range(1 << width):
+            values = _eval(c, a, b, av, bv, width)
+            got = sum(values[n] << i for i, n in enumerate(diff))
+            assert got == (av - bv) & mask
+            assert values[no_borrow] == int(av >= bv)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_abs_diff_exhaustive(width):
+    c, a, b = _two_word_circuit(width)
+    d = abs_diff(c, a, b)
+    c.mark_output_word(d, "d")
+    for av in range(1 << width):
+        for bv in range(1 << width):
+            values = _eval(c, a, b, av, bv, width)
+            got = sum(values[n] << i for i, n in enumerate(d))
+            assert got == abs(av - bv), (av, bv)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    av=st.integers(min_value=0, max_value=255),
+    bv=st.integers(min_value=0, max_value=255),
+)
+def test_abs_diff_8bit_property(av, bv):
+    c, a, b = _two_word_circuit(8)
+    d = abs_diff(c, a, b)
+    c.mark_output_word(d, "d")
+    values = _eval(c, a, b, av, bv, 8)
+    assert sum(values[n] << i for i, n in enumerate(d)) == abs(av - bv)
+
+
+class TestMuxWord:
+    def test_select(self):
+        c = Circuit("t")
+        sel = c.add_input("sel")
+        w0 = c.add_input_word("w0", 3)
+        w1 = c.add_input_word("w1", 3)
+        out = mux_word(c, sel, w0, w1)
+        c.mark_output_word(out, "o")
+        for s in (0, 1):
+            values, _ = c.evaluate([s] + int_to_bits(5, 3) + int_to_bits(2, 3))
+            got = sum(values[n] << i for i, n in enumerate(out))
+            assert got == (2 if s else 5)
+
+    def test_width_mismatch(self):
+        c = Circuit("t")
+        sel = c.add_input("sel")
+        w0 = c.add_input_word("w0", 3)
+        w1 = c.add_input_word("w1", 2)
+        with pytest.raises(ValueError):
+            mux_word(c, sel, w0, w1)
+
+
+class TestPrimitives:
+    def test_constant_word(self):
+        c = Circuit("t")
+        w = constant_word(c, 0b101, 3)
+        values, _ = c.evaluate([])
+        assert [values[n] for n in w] == [1, 0, 1]
+
+    def test_constant_word_range(self):
+        c = Circuit("t")
+        with pytest.raises(ValueError):
+            constant_word(c, 8, 3)
+
+    def test_full_adder_gates_truth_table(self):
+        c = Circuit("t")
+        a, b, ci = (c.add_input(x) for x in "abc")
+        s, co = full_adder_gates(c, a, b, ci)
+        c.mark_output(s)
+        c.mark_output(co)
+        for av in (0, 1):
+            for bv in (0, 1):
+                for cv in (0, 1):
+                    values, _ = c.evaluate([av, bv, cv])
+                    assert values[s] + 2 * values[co] == av + bv + cv
+
+    def test_reduce_tree_is_balanced(self):
+        c = Circuit("t")
+        nets = [c.add_input(f"i{k}") for k in range(8)]
+        out = reduce_tree(c, CellKind.AND, nets)
+        c.mark_output(out)
+        assert c.critical_path_length() == 3  # log2(8)
+
+    def test_reduce_tree_function(self):
+        c = Circuit("t")
+        nets = [c.add_input(f"i{k}") for k in range(5)]
+        out = reduce_tree(c, CellKind.OR, nets)
+        c.mark_output(out)
+        for combo in range(32):
+            values, _ = c.evaluate(int_to_bits(combo, 5))
+            assert values[out] == int(combo != 0)
+
+    def test_reduce_tree_rejects_empty(self):
+        c = Circuit("t")
+        with pytest.raises(ValueError):
+            reduce_tree(c, CellKind.AND, [])

@@ -1,0 +1,173 @@
+"""Tests for the sequential DSP datapaths (MAC, FIR) and their retiming."""
+
+import pytest
+
+from repro.circuits.datapath import (
+    constant_multiplier,
+    mac_unit,
+    reference_fir,
+    transposed_fir,
+)
+from repro.netlist.circuit import Circuit, int_to_bits
+from repro.netlist.validate import validate
+from repro.retime.graph import RetimingGraph
+from repro.retime.leiserson_saxe import minimum_period
+from repro.retime.pipeline import pipeline_circuit
+from repro.sim.engine import Simulator
+from repro.sim.vectors import WordStimulus
+
+
+class TestConstantMultiplier:
+    @pytest.mark.parametrize("coeff", [0, 1, 2, 3, 5, 10, 15])
+    def test_exhaustive_4bit(self, coeff):
+        c = Circuit(f"cm{coeff}")
+        x = c.add_input_word("x", 4)
+        y = constant_multiplier(c, x, coeff)
+        c.mark_output_word(y, "y")
+        for xv in range(16):
+            values, _ = c.evaluate(int_to_bits(xv, 4))
+            got = sum(values[n] << i for i, n in enumerate(y))
+            assert got == (xv * coeff) % 16, (coeff, xv)
+
+    def test_zero_coefficient_is_constant(self):
+        c = Circuit("cm0")
+        x = c.add_input_word("x", 4)
+        y = constant_multiplier(c, x, 0)
+        c.mark_output_word(y, "y")
+        hist = c.kind_histogram()
+        assert hist.get("FA", 0) == 0 and hist.get("HA", 0) == 0
+
+    def test_power_of_two_needs_no_adder(self):
+        c = Circuit("cm4")
+        x = c.add_input_word("x", 6)
+        constant_multiplier(c, x, 4)
+        assert c.kind_histogram().get("FA", 0) == 0
+
+    def test_coefficient_wraps_modulo_width(self):
+        c = Circuit("cm_wrap")
+        x = c.add_input_word("x", 4)
+        y = constant_multiplier(c, x, 16 + 3)  # == 3 mod 16
+        c.mark_output_word(y, "y")
+        values, _ = c.evaluate(int_to_bits(5, 4))
+        assert sum(values[n] << i for i, n in enumerate(y)) == 15
+
+    def test_negative_coefficient_rejected(self):
+        c = Circuit("t")
+        x = c.add_input_word("x", 4)
+        with pytest.raises(ValueError):
+            constant_multiplier(c, x, -1)
+
+
+class TestMacUnit:
+    def test_accumulation_sequence(self, rng):
+        width, coeff = 8, 3
+        circuit, ports = mac_unit(width, coeff)
+        assert not [i for i in validate(circuit) if i.severity == "error"]
+        sim = Simulator(circuit)
+        stim = WordStimulus({"x": ports["x"]})
+        sim.settle(stim.vector(x=0))
+        acc = 0
+        for _ in range(40):
+            xv = rng.randint(0, 255)
+            sim.step(stim.vector(x=xv))
+            acc = (acc + coeff * xv) % 256
+            # acc output reflects the PREVIOUS accumulation this cycle;
+            # after the step, Q holds the sum including this input only
+            # on the NEXT edge.  Verify one cycle later:
+            sim_acc_next = sim.word_value(ports["acc"])
+            # run one more empty-ish check next loop iteration instead
+        # Direct check: replay deterministically.
+        sim2 = Simulator(circuit)
+        sim2.settle(stim.vector(x=0))
+        expected = 0
+        seq = [rng.randint(0, 255) for _ in range(30)]
+        for xv in seq:
+            sim2.step(stim.vector(x=xv))
+            got = sim2.word_value(ports["acc"])
+            assert got == expected  # Q shows the pre-edge value history
+            expected = (expected + 3 * xv) % 256
+
+    def test_retiming_graph_is_cyclic_and_feasible(self):
+        circuit, _ = mac_unit(6, 3)
+        graph = RetimingGraph.from_circuit(circuit)
+        period, r = minimum_period(graph)
+        # The accumulator loop holds 1 register over >= several cell
+        # delays: min period is the whole loop delay.
+        assert period >= 2
+        assert graph.is_legal(r)
+
+    def test_unachievable_period_detected(self):
+        from repro.retime.leiserson_saxe import feas
+
+        circuit, _ = mac_unit(6, 3)
+        graph = RetimingGraph.from_circuit(circuit)
+        assert feas(graph, 1) is None  # loop limits the period
+
+
+class TestTransposedFir:
+    @pytest.mark.parametrize("coeffs", [(1,), (1, 2), (1, 2, 3), (5, 0, 7)])
+    def test_matches_reference(self, coeffs, rng):
+        width = 8
+        circuit, ports = transposed_fir(width, coeffs)
+        assert not [i for i in validate(circuit) if i.severity == "error"]
+        sim = Simulator(circuit)
+        stim = WordStimulus({"x": ports["x"]})
+        stream = [rng.randint(0, 255) for _ in range(30)]
+        expected = reference_fir(stream, coeffs, width)
+        sim.settle(stim.vector(x=0))
+        for xv, want in zip(stream, expected):
+            sim.step(stim.vector(x=xv))
+            assert sim.word_value(ports["y"]) == want
+
+    def test_register_count(self):
+        width = 8
+        circuit, _ = transposed_fir(width, (1, 2, 3, 4))
+        # one register word between consecutive taps
+        assert circuit.num_flipflops == 3 * width
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            transposed_fir(8, ())
+
+    def test_retiming_preserves_function_and_latency(self, rng):
+        """Plain retiming (stages=0) keeps the FIR's I/O behaviour.
+
+        The x -> tap0 -> y path is register-free, so the zero-lag
+        minimum period equals the combinational bound; one extra
+        pipeline stage must then beat it strictly.
+        """
+        width = 8
+        coeffs = (3, 5, 7)
+        circuit, ports = transposed_fir(width, coeffs)
+        graph = RetimingGraph.from_circuit(circuit)
+        base_arrival = circuit.critical_path_length()
+        period, r = minimum_period(graph)
+        assert period <= base_arrival
+        assert pipeline_circuit(circuit, 1).period < period
+
+        # Retime in place (stages=0) and re-verify against the golden
+        # model: latency must be unchanged.
+        result = pipeline_circuit(circuit, 0)
+        stim = WordStimulus({"x": ports["x"]})
+        stream = [rng.randint(0, 255) for _ in range(25)]
+        expected = reference_fir(stream, coeffs, width)
+        sim = Simulator(result.circuit)
+        sim.settle(stim.vector(x=0))
+        out_word = result.circuit.outputs[:width]  # y word, LSB first
+        for xv, want in zip(stream, expected):
+            sim.step(stim.vector(x=xv))
+            assert sim.word_value(out_word) == want
+
+    def test_retiming_reduces_glitch_activity(self, rng):
+        """Moving the FIR registers into the adder chain kills glitches."""
+        from repro.core.activity import analyze
+
+        width = 8
+        coeffs = (3, 5, 7)
+        base, ports = transposed_fir(width, coeffs)
+        retimed = pipeline_circuit(base, 0).circuit
+        stim = WordStimulus({"x": ports["x"]})
+        vectors = [dict(v) for v in stim.random(rng, 120)]
+        act_base = analyze(base, iter(vectors))
+        act_retimed = analyze(retimed, iter(vectors))
+        assert act_retimed.useless <= act_base.useless

@@ -1,0 +1,110 @@
+"""Functional tests for the direction detector vs its golden model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.direction_detector import (
+    build_direction_detector,
+    reference_direction_detector,
+)
+from repro.experiments.detector import detector_stimulus
+from repro.netlist.validate import validate
+from repro.sim.engine import Simulator
+
+
+def _observe(sim, ports):
+    return {
+        "direction": sim.word_value(ports.direction),
+        "min": sim.word_value(ports.min_diff),
+        "max": sim.word_value(ports.max_diff),
+        "is_min": sim.values[ports.is_min],
+        "is_max": sim.values[ports.is_max],
+    }
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("width,threshold", [(4, 3), (6, 10), (8, 16)])
+    def test_random_vs_reference(self, width, threshold, rng):
+        circuit, ports = build_direction_detector(width=width, threshold=threshold)
+        assert not [i for i in validate(circuit) if i.severity == "error"]
+        sim = Simulator(circuit)
+        stim = detector_stimulus(ports)
+        top = (1 << width) - 1
+        sim.settle(stim.vector(a0=0, a1=0, a2=0, b0=0, b1=0, b2=0))
+        for _ in range(150):
+            a = [rng.randint(0, top) for _ in range(3)]
+            b = [rng.randint(0, top) for _ in range(3)]
+            sim.step(
+                stim.vector(a0=a[0], a1=a[1], a2=a[2], b0=b[0], b1=b[1], b2=b[2])
+            )
+            expected = reference_direction_detector(a, b, width, threshold)
+            assert _observe(sim, ports) == expected, (a, b)
+
+    def test_corner_cases(self):
+        width, threshold = 8, 16
+        circuit, ports = build_direction_detector(width=width, threshold=threshold)
+        sim = Simulator(circuit)
+        stim = detector_stimulus(ports)
+        cases = [
+            ([0, 0, 0], [0, 0, 0]),  # all equal -> default direction
+            ([255, 255, 255], [0, 0, 0]),  # max spread everywhere
+            ([0, 128, 255], [255, 128, 0]),  # symmetric
+            ([255, 0, 0], [0, 0, 255]),  # left diagonal perfect match
+            ([17, 17, 17], [17, 17, 17]),
+        ]
+        sim.settle(stim.vector(a0=0, a1=0, a2=0, b0=0, b1=0, b2=0))
+        for a, b in cases:
+            sim.step(
+                stim.vector(a0=a[0], a1=a[1], a2=a[2], b0=b[0], b1=b[1], b2=b[2])
+            )
+            expected = reference_direction_detector(a, b, width, threshold)
+            assert _observe(sim, ports) == expected, (a, b)
+
+    def test_default_direction_below_threshold(self):
+        """Small spread must force the default (vertical) direction."""
+        circuit, ports = build_direction_detector(width=8, threshold=200)
+        sim = Simulator(circuit)
+        stim = detector_stimulus(ports)
+        sim.settle(stim.vector(a0=0, a1=0, a2=0, b0=0, b1=0, b2=0))
+        sim.step(stim.vector(a0=10, a1=50, a2=90, b0=90, b1=50, b2=10))
+        assert sim.word_value(ports.direction) == 1
+
+
+class TestStructure:
+    def test_register_inputs_ff_count(self):
+        """Paper circuit 1 has 48 flipflops = 6 words x 8 bits."""
+        circuit, _ = build_direction_detector(width=8, register_inputs=True)
+        assert circuit.num_flipflops == 48
+
+    def test_unregistered_has_no_ffs(self):
+        circuit, _ = build_direction_detector(width=8)
+        assert circuit.num_flipflops == 0
+
+    def test_threshold_must_fit(self):
+        with pytest.raises(ValueError):
+            build_direction_detector(width=4, threshold=16)
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            build_direction_detector(width=1)
+
+    def test_is_deeply_unbalanced(self):
+        """The ripple datapath gives a long critical path (glitch source)."""
+        circuit, _ = build_direction_detector(width=8)
+        assert circuit.critical_path_length() > 40
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_reference_model_consistency_property(data):
+    """min <= max and the chosen direction's flags are coherent."""
+    a = [data.draw(st.integers(min_value=0, max_value=255)) for _ in range(3)]
+    b = [data.draw(st.integers(min_value=0, max_value=255)) for _ in range(3)]
+    out = reference_direction_detector(a, b)
+    assert out["min"] <= out["max"]
+    assert out["direction"] in (0, 1, 2)
+    d_mid = abs(a[1] - b[1])
+    assert out["is_min"] == int(d_mid == out["min"])
+    assert out["is_max"] == int(d_mid == out["max"])

@@ -1,0 +1,125 @@
+"""Functional and structural tests for the multipliers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.multipliers import (
+    array_multiplier,
+    build_multiplier_circuit,
+    wallace_tree_multiplier,
+)
+from repro.netlist.circuit import Circuit, int_to_bits
+from repro.netlist.validate import validate
+from repro.sim.engine import Simulator
+from repro.sim.vectors import WordStimulus
+
+
+@pytest.mark.parametrize("architecture", ["array", "wallace"])
+def test_exhaustive_4x4(architecture):
+    c, ports = build_multiplier_circuit(4, architecture)
+    assert not [i for i in validate(c) if i.severity == "error"]
+    for x in range(16):
+        for y in range(16):
+            bits = int_to_bits(x, 4) + int_to_bits(y, 4)
+            values, _ = c.evaluate(bits)
+            got = sum(values[n] << i for i, n in enumerate(ports["product"]))
+            assert got == x * y, (architecture, x, y)
+
+
+@pytest.mark.parametrize("architecture", ["array", "wallace"])
+@settings(max_examples=40, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=255),
+    y=st.integers(min_value=0, max_value=255),
+)
+def test_random_8x8_property(architecture, x, y):
+    c, ports = build_multiplier_circuit(8, architecture)
+    bits = int_to_bits(x, 8) + int_to_bits(y, 8)
+    values, _ = c.evaluate(bits)
+    got = sum(values[n] << i for i, n in enumerate(ports["product"]))
+    assert got == x * y
+
+
+@pytest.mark.parametrize("architecture", ["array", "wallace"])
+def test_event_simulation_matches(architecture, rng):
+    c, ports = build_multiplier_circuit(8, architecture)
+    stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+    sim = Simulator(c)
+    sim.settle(stim.vector(x=0, y=0))
+    for _ in range(60):
+        x, y = rng.randint(0, 255), rng.randint(0, 255)
+        sim.step(stim.vector(x=x, y=y))
+        assert sim.word_value(ports["product"]) == x * y
+
+
+@pytest.mark.parametrize("architecture", ["array", "wallace"])
+def test_rectangular_operands(architecture):
+    c = Circuit("rect")
+    x = c.add_input_word("x", 6)
+    y = c.add_input_word("y", 3)
+    builder = array_multiplier if architecture == "array" else wallace_tree_multiplier
+    product = builder(c, x, y)
+    c.mark_output_word(product, "p")
+    assert len(product) == 9
+    for xv in (0, 5, 63):
+        for yv in range(8):
+            bits = int_to_bits(xv, 6) + int_to_bits(yv, 3)
+            values, _ = c.evaluate(bits)
+            got = sum(values[n] << i for i, n in enumerate(product))
+            assert got == xv * yv
+
+
+class TestStructure:
+    def test_partial_product_count(self):
+        c, _ = build_multiplier_circuit(8, "array")
+        hist = c.kind_histogram()
+        assert hist["AND"] == 64  # the 8x8 AND matrix
+
+    @pytest.mark.parametrize("n,max_layers", [(8, 4), (16, 6)])
+    def test_wallace_reduction_is_logarithmic(self, n, max_layers):
+        """Column heights shrink by ~2/3 per layer (Dadda sequence)."""
+        c, _ = build_multiplier_circuit(n, "wallace")
+        layers = {
+            int(cell.name.split("_l")[1].split("_")[0])
+            for cell in c.cells
+            if "_l" in cell.name and cell.kind.value in ("FA", "HA")
+        }
+        assert max(layers) + 1 <= max_layers
+
+    def test_array_rows_are_linear(self):
+        """The array has one carry-save row per multiplier bit."""
+        c, _ = build_multiplier_circuit(8, "array")
+        rows = {
+            int(cell.name.split("_fa")[1].split("_")[0])
+            for cell in c.cells
+            if "_fa" in cell.name and cell.kind.value == "FA"
+        }
+        assert rows == set(range(2, 8))  # rows 2..7 are full FA rows
+
+    def test_product_width(self):
+        for n in (2, 3, 5):
+            for arch in ("array", "wallace"):
+                _, ports = build_multiplier_circuit(n, arch)
+                assert len(ports["product"]) == 2 * n
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            build_multiplier_circuit(8, "booth")
+
+    def test_degenerate_width_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(ValueError):
+            array_multiplier(c, [], [])
+
+
+def test_glitchiness_ordering(rng):
+    """The paper's Table 1 headline: array glitches far more than wallace."""
+    from repro.core.activity import analyze
+
+    ratios = {}
+    for arch in ("array", "wallace"):
+        c, ports = build_multiplier_circuit(8, arch)
+        stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+        result = analyze(c, stim.random(rng, 151))
+        ratios[arch] = result.useless_useful_ratio()
+    assert ratios["array"] > 2 * ratios["wallace"]

@@ -1,0 +1,83 @@
+"""Tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_named_circuit, main
+
+
+class TestBuildNamedCircuit:
+    def test_rca(self):
+        circuit, stim = build_named_circuit("rca8")
+        assert len(circuit.inputs) == 16
+        assert set(stim.words) == {"a", "b"}
+
+    def test_multipliers(self):
+        for name, words in (("array4", {"x", "y"}), ("wallace4", {"x", "y"})):
+            circuit, stim = build_named_circuit(name)
+            assert set(stim.words) == words
+
+    def test_detector(self):
+        circuit, stim = build_named_circuit("detector")
+        assert len(stim.words) == 6
+
+    @pytest.mark.parametrize("bad", ["rcaX", "rca0", "rca99", "nonsense"])
+    def test_bad_names(self, bad):
+        with pytest.raises(SystemExit):
+            build_named_circuit(bad)
+
+
+class TestCommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--circuit", "rca8", "--vectors", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "L/F" in out and "useless" in out
+
+    def test_analyze_sumcarry_delay(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze", "--circuit", "array4", "--vectors", "30",
+                    "--delay", "sumcarry",
+                ]
+            )
+            == 0
+        )
+        assert "dsum=2" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--vectors", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "wallace" in out
+
+    def test_experiment_sec42(self, capsys):
+        assert main(["experiment", "sec42", "--vectors", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_experiment_adders(self, capsys):
+        assert main(["experiment", "adders", "--vectors", "30"]) == 0
+        assert "kogge-stone" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "does-not-exist"])
+
+    def test_export_json_parses(self, capsys):
+        assert main(["export", "--circuit", "rca4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "rca4"
+
+    def test_export_dot(self, capsys):
+        assert main(["export", "--circuit", "rca4", "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_balance(self, capsys):
+        assert main(["balance", "--circuit", "rca8", "--vectors", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "balanced" in out and "pipelined" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,149 @@
+"""Unit tests for circuit-level activity accounting."""
+
+import random
+
+import pytest
+
+from repro.core.activity import ActivityResult, accumulate_traces, analyze
+from repro.core.transitions import NodeActivity
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.sim.delays import ZeroDelay
+from repro.sim.engine import CycleTrace, Simulator
+
+
+@pytest.fixture
+def hazard_circuit():
+    """AND(a, NOT a) plus a BUF(b) reference path."""
+    c = Circuit("hazard")
+    a, b = c.add_input("a"), c.add_input("b")
+    na = c.gate(CellKind.NOT, a, name="inv")
+    y = c.new_net("y")
+    c.gate(CellKind.AND, a, na, output=y, name="and")
+    r = c.new_net("r")
+    c.gate(CellKind.BUF, b, output=r, name="buf")
+    c.mark_output(y)
+    c.mark_output(r)
+    return c
+
+
+class TestAnalyze:
+    def test_pure_glitches_classified_useless(self, hazard_circuit):
+        c = hazard_circuit
+        # Toggle a every cycle, hold b: y glitches, never changes settled.
+        vectors = [[k % 2, 0] for k in range(21)]
+        result = analyze(c, vectors)
+        y = c.net("y")
+        act = result.node(y)
+        assert act.useful == 0
+        assert act.useless > 0
+        assert act.useless % 2 == 0
+
+    def test_pure_useful_on_buffer(self, hazard_circuit):
+        c = hazard_circuit
+        vectors = [[0, k % 2] for k in range(11)]
+        result = analyze(c, vectors)
+        act = result.node(c.net("r"))
+        assert act.useful == 10
+        assert act.useless == 0
+
+    def test_summary_fields(self, hazard_circuit):
+        result = analyze(hazard_circuit, [[k % 2, 0] for k in range(5)])
+        s = result.summary()
+        assert s["cycles"] == 4
+        assert s["total"] == s["useful"] + s["useless"]
+        assert s["reduction_bound"] == pytest.approx(1 + s["L/F"], rel=1e-6)
+
+    def test_zero_delay_rejected(self, hazard_circuit):
+        with pytest.raises(ValueError, match="ZeroDelay"):
+            analyze(hazard_circuit, [[0, 0]], delay_model=ZeroDelay())
+
+    def test_monitor_restricts_nodes(self, hazard_circuit):
+        c = hazard_circuit
+        y = c.net("y")
+        result = analyze(c, [[k % 2, k % 2] for k in range(9)], monitor=[y])
+        assert set(result.per_node) <= {y}
+
+    def test_ratio_edge_cases(self):
+        r = ActivityResult("c", "unit")
+        assert r.useless_useful_ratio() == 0.0
+        r.per_node[0] = NodeActivity(useless=4, toggles=4)
+        assert r.useless_useful_ratio() == float("inf")
+
+
+class TestResultViews:
+    def _result(self):
+        r = ActivityResult("c", "unit", cycles=10)
+        r.per_node[0] = NodeActivity(toggles=5, rises=3, useful=1, useless=4, cycles_active=5)
+        r.per_node[1] = NodeActivity(toggles=2, rises=1, useful=2, useless=0, cycles_active=2)
+        r.node_names = {0: "x", 1: "y"}
+        return r
+
+    def test_aggregates(self):
+        r = self._result()
+        assert r.total_transitions == 7
+        assert r.useful == 3
+        assert r.useless == 4
+        assert r.rises == 4
+        assert r.glitches == 2
+
+    def test_restrict(self):
+        r = self._result().restrict([1])
+        assert set(r.per_node) == {1}
+        assert r.total_transitions == 2
+        assert r.cycles == 10
+
+    def test_word_profile(self):
+        r = self._result()
+        profile = r.word_profile([0, 1, 99])
+        assert [p.toggles for p in profile] == [5, 2, 0]
+
+    def test_merge(self):
+        a, b = self._result(), self._result()
+        a.merge(b)
+        assert a.cycles == 20
+        assert a.total_transitions == 14
+
+    def test_merge_different_circuits_rejected(self):
+        a = self._result()
+        b = ActivityResult("other", "unit")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_node_missing_returns_zero_record(self):
+        r = self._result()
+        assert r.node(1234).toggles == 0
+
+
+class TestAccumulateTraces:
+    def test_matches_manual_count(self):
+        result = ActivityResult("c", "unit")
+        traces = [
+            CycleTrace(cycle=0, toggles={5: 3}, rises={5: 2}),
+            CycleTrace(cycle=1, toggles={5: 2, 6: 1}, rises={5: 1, 6: 1}),
+        ]
+        accumulate_traces(result, traces)
+        assert result.cycles == 2
+        assert result.node(5).toggles == 5
+        assert result.node(5).useful == 1
+        assert result.node(5).useless == 4
+        assert result.node(6).useful == 1
+
+    def test_parity_against_settled_values(self, rng):
+        """Cross-check: per-cycle parity == settled-value change."""
+        from tests.conftest import random_dag_circuit
+
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=14)
+        sim = Simulator(c)
+        vec = [rng.randint(0, 1) for _ in c.inputs]
+        sim.settle(vec)
+        prev = list(sim.values)
+        for _ in range(30):
+            vec = [rng.randint(0, 1) for _ in c.inputs]
+            trace = sim.step(vec)
+            for net, count in trace.toggles.items():
+                changed = sim.values[net] != prev[net]
+                assert (count % 2 == 1) == changed, (
+                    "odd parity must coincide with settled-value change"
+                )
+            prev = list(sim.values)

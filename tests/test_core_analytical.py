@@ -1,0 +1,128 @@
+"""Unit tests for the closed-form RCA model (paper eqs. 2-7, Sec. 3.1)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.analytical import (
+    rca_expected_counts,
+    rca_per_bit_table,
+    transition_ratio_carry,
+    transition_ratio_sum,
+    useful_ratio_carry,
+    useful_ratio_sum,
+    useless_ratio_carry,
+    useless_ratio_sum,
+    worst_case_probability,
+    worst_case_transitions,
+    worst_case_vectors,
+)
+
+
+class TestEquations:
+    def test_first_stage_values(self):
+        # Stage 0: S_0 toggles iff the (a0, b0) parity changes -> 1/2.
+        assert transition_ratio_sum(0) == Fraction(1, 2)
+        assert useless_ratio_sum(0) == 0
+        # C_1 = a0 & b0: P(change) = 2 * 1/4 * 3/4 = 3/8.
+        assert transition_ratio_carry(0) == Fraction(3, 8)
+        assert useful_ratio_carry(0) == Fraction(3, 8)
+        assert useless_ratio_carry(0) == 0
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_totals_decompose_property(self, i):
+        """TR = UFTR + ULTR must hold exactly (eqs. 2-7 are consistent)."""
+        assert (
+            transition_ratio_sum(i)
+            == useful_ratio_sum(i) + useless_ratio_sum(i)
+        )
+        assert (
+            transition_ratio_carry(i)
+            == useful_ratio_carry(i) + useless_ratio_carry(i)
+        )
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_ranges_property(self, i):
+        for ratio in (
+            transition_ratio_sum(i),
+            transition_ratio_carry(i),
+            useful_ratio_sum(i),
+            useless_ratio_sum(i),
+            useful_ratio_carry(i),
+            useless_ratio_carry(i),
+        ):
+            assert 0 <= ratio < Fraction(5, 4) + 1
+
+    def test_monotone_growth_with_bit_index(self):
+        """Higher bits glitch more (longer carry history)."""
+        for i in range(10):
+            assert useless_ratio_sum(i + 1) > useless_ratio_sum(i)
+            assert transition_ratio_carry(i + 1) > transition_ratio_carry(i)
+
+    def test_asymptotes(self):
+        """Paper: TR(S) -> 5/4, TR(C) -> 3/4, ULTR(S) -> 3/4."""
+        assert abs(float(transition_ratio_sum(60)) - 1.25) < 1e-12
+        assert abs(float(transition_ratio_carry(60)) - 0.75) < 1e-12
+        assert float(useful_ratio_sum(60)) == 0.5
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ValueError):
+            transition_ratio_sum(-1)
+
+
+class TestPaperTotals:
+    def test_figure5_configuration(self):
+        """N=16, 4000 vectors: paper reports 119002/63334/55668, L/F 0.88."""
+        exp = rca_expected_counts(16, 4000)
+        assert exp["total"] == pytest.approx(119002, rel=2e-4)
+        assert exp["useful"] == pytest.approx(63334, rel=2e-4)
+        assert exp["useless"] == pytest.approx(55668, rel=2e-4)
+        assert exp["L/F"] == pytest.approx(0.88, abs=0.01)
+
+    def test_per_bit_table_shape(self):
+        rows = rca_per_bit_table(16, 4000)
+        assert len(rows) == 16
+        assert rows[0]["sum_useful"] == pytest.approx(2000)
+        assert rows[0]["sum_useless"] == 0
+        # Figure 5: useless counts rise along the word.
+        useless = [r["sum_useless"] for r in rows]
+        assert useless == sorted(useless)
+
+    def test_expected_counts_scale_linearly(self):
+        one = rca_expected_counts(8, 1)
+        many = rca_expected_counts(8, 1000)
+        assert many["total"] == pytest.approx(1000 * one["total"])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            rca_expected_counts(0, 100)
+
+
+class TestWorstCase:
+    def test_bound_is_n(self):
+        assert worst_case_transitions(7) == 7
+
+    def test_probability_formula(self):
+        assert worst_case_probability(1) == pytest.approx(3 / 8)
+        assert worst_case_probability(4) == pytest.approx(3 * (1 / 8) ** 4)
+
+    @given(st.integers(min_value=1, max_value=24))
+    def test_vectors_structure_property(self, n):
+        prev_a, prev_b, new_a, new_b = worst_case_vectors(n)
+        mask = (1 << n) - 1
+        assert prev_a == prev_b  # generate/kill pattern per stage
+        assert (new_a ^ new_b) & mask == mask  # propagate everywhere
+
+    @given(st.integers(min_value=2, max_value=16))
+    def test_worst_case_achieved_in_simulation_property(self, n):
+        """The constructive stimulus really yields N toggles on C_N."""
+        from repro.experiments.rca import worst_case_experiment
+
+        result = worst_case_experiment(n)
+        assert result["top_carry_toggles"] == n
+        assert result["top_sum_toggles"] == n
+
+    def test_probability_negligible_for_word_sizes(self):
+        """Section 3.1: already negligible for small N."""
+        assert worst_case_probability(16) < 1e-13

@@ -1,0 +1,30 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.core.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["name", "value"], [["a", 1], ["bcd", 22]])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "name"
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_and_rule(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_number_formatting(self):
+        text = format_table(["n"], [[1234567], [0.3333333], [1.0]])
+        assert "1,234,567" in text
+        assert "0.33" in text
+
+    def test_nan_rendering(self):
+        assert "nan" in format_table(["x"], [[float("nan")]])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [[1]])

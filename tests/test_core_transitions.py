@@ -1,0 +1,90 @@
+"""Unit tests for parity-based transition classification (paper 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.transitions import NodeActivity, classify_toggle_count, glitch_count
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "count,useful,useless",
+        [
+            (0, 0, 0),
+            (1, 1, 0),  # single transition: always useful
+            (2, 0, 2),  # paper Figure 4, signal 2
+            (3, 1, 2),  # paper Figure 4, signal 3
+            (4, 0, 4),
+            (7, 1, 6),
+        ],
+    )
+    def test_paper_properties(self, count, useful, useless):
+        assert classify_toggle_count(count) == (useful, useless)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            classify_toggle_count(-1)
+
+    def test_glitch_pairs(self):
+        assert glitch_count(0) == 0
+        assert glitch_count(2) == 1
+        assert glitch_count(4) == 2
+        assert glitch_count(5) == 2  # odd residue truncated
+
+    def test_glitch_negative_rejected(self):
+        with pytest.raises(ValueError):
+            glitch_count(-2)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_classification_invariants_property(count):
+    """Property 1+2 of paper Section 3.3, for any toggle count."""
+    useful, useless = classify_toggle_count(count)
+    assert useful + useless == count
+    assert useful == count % 2  # odd -> exactly one useful
+    assert useless % 2 == 0  # useless transitions come in pairs
+
+
+class TestNodeActivity:
+    def test_add_cycle_accumulates(self):
+        n = NodeActivity()
+        n.add_cycle(3, 2)  # 1 useful + 2 useless, 2 rises
+        n.add_cycle(2, 1)  # 2 useless
+        assert (n.toggles, n.rises) == (5, 3)
+        assert (n.useful, n.useless) == (1, 4)
+        assert n.cycles_active == 2
+        assert n.glitches == 2
+
+    def test_quiet_cycle_ignored(self):
+        n = NodeActivity()
+        n.add_cycle(0, 0)
+        assert n.cycles_active == 0
+        assert n.toggles == 0
+
+    def test_merge_and_add(self):
+        a = NodeActivity(toggles=3, rises=2, useful=1, useless=2, cycles_active=1)
+        b = NodeActivity(toggles=2, rises=1, useful=0, useless=2, cycles_active=1)
+        c = a + b
+        assert (c.toggles, c.rises, c.useful, c.useless) == (5, 3, 1, 4)
+        assert (a.toggles, b.toggles) == (3, 2)  # operands untouched
+        a.merge(b)
+        assert a.toggles == 5
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=50,
+    )
+)
+def test_node_activity_totals_property(cycles):
+    """Accumulated useful+useless always equals accumulated toggles."""
+    n = NodeActivity()
+    for toggles, rises in cycles:
+        n.add_cycle(toggles, min(rises, toggles))
+    assert n.useful + n.useless == n.toggles
+    assert n.rises <= n.toggles
+    assert n.glitches == n.useless // 2

@@ -1,0 +1,188 @@
+"""Tests for probabilistic activity estimation (extension package)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.estimate.density import transition_densities
+from repro.estimate.probability import signal_probabilities, switching_activity
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+
+
+def _exhaustive_probability(circuit: Circuit, net: int) -> float:
+    """Ground truth P(net = 1) over all input combinations."""
+    ones = 0
+    total = 0
+    for combo in itertools.product((0, 1), repeat=len(circuit.inputs)):
+        values, _ = circuit.evaluate(list(combo))
+        ones += values[net]
+        total += 1
+    return ones / total
+
+
+class TestSignalProbabilities:
+    def test_gate_formulas_on_trees(self):
+        """On fanout-free circuits the propagation is exact."""
+        c = Circuit("tree")
+        i = [c.add_input(f"i{k}") for k in range(4)]
+        a = c.gate(CellKind.AND, i[0], i[1], name="a")
+        o = c.gate(CellKind.OR, i[2], i[3], name="o")
+        x = c.gate(CellKind.XOR, a, o, name="x")
+        c.mark_output(x)
+        probs = signal_probabilities(c, 0.5)
+        for net in (a, o, x):
+            assert probs[net] == pytest.approx(_exhaustive_probability(c, net))
+
+    def test_biased_inputs(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b)
+        c.mark_output(y)
+        probs = signal_probabilities(c, {a: 0.9, b: 0.1})
+        assert probs[y] == pytest.approx(0.09)
+
+    def test_const_cells(self):
+        c = Circuit("t")
+        one = c.add_cell(CellKind.CONST1, []).outputs[0]
+        zero = c.add_cell(CellKind.CONST0, []).outputs[0]
+        y = c.gate(CellKind.AND, one, zero)
+        c.mark_output(y)
+        probs = signal_probabilities(c)
+        assert probs[one] == 1.0 and probs[zero] == 0.0 and probs[y] == 0.0
+
+    def test_fa_cell_probabilities(self):
+        c = Circuit("t")
+        a, b, ci = (c.add_input(x) for x in "abc")
+        fa = c.add_cell(CellKind.FA, [a, b, ci], name="fa")
+        s, co = fa.outputs
+        c.mark_output(s)
+        c.mark_output(co)
+        probs = signal_probabilities(c, 0.5)
+        assert probs[s] == pytest.approx(0.5)
+        assert probs[co] == pytest.approx(0.5)
+
+    def test_missing_input_prob_rejected(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.mark_output(c.gate(CellKind.AND, a, b))
+        with pytest.raises(ValueError, match="missing"):
+            signal_probabilities(c, {a: 0.5})
+
+    def test_out_of_range_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.mark_output(c.gate(CellKind.NOT, a))
+        with pytest.raises(ValueError):
+            signal_probabilities(c, 1.5)
+
+    def test_pipeline_state_probability(self):
+        """FF output probability converges to its D probability."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b)
+        q = c.add_dff(y, name="ff")
+        z = c.gate(CellKind.NOT, q)
+        c.mark_output(z)
+        probs = signal_probabilities(c, 0.5)
+        assert probs[q] == pytest.approx(0.25)
+        assert probs[z] == pytest.approx(0.75)
+
+
+class TestSwitchingActivity:
+    def test_formula(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b)
+        c.mark_output(y)
+        act = switching_activity(c, 0.5)
+        assert act[y] == pytest.approx(2 * 0.25 * 0.75)
+
+    def test_rca_sum_bits_half(self):
+        """Paper eq. 4: every RCA sum bit has useful activity 1/2."""
+        from repro.circuits.adders import build_rca_circuit
+
+        c, ports = build_rca_circuit(8, with_cin=False)
+        act = switching_activity(c, 0.5)
+        for s in ports["sums"]:
+            assert act[s] == pytest.approx(0.5)
+
+    def test_matches_measured_useful_rate(self, rng):
+        """Zero-delay estimate ~= measured useful-transition rate."""
+        from repro.circuits.adders import build_rca_circuit
+        from repro.core.activity import analyze
+        from repro.sim.vectors import WordStimulus
+
+        c, ports = build_rca_circuit(8, with_cin=False)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        result = analyze(c, stim.random(rng, 2001))
+        act = switching_activity(c, 0.5)
+        for s in ports["sums"]:
+            measured = result.node(s).useful / result.cycles
+            assert measured == pytest.approx(act[s], abs=0.05)
+
+
+class TestTransitionDensity:
+    def test_buffer_chain_preserves_density(self):
+        c = Circuit("t")
+        n = c.add_input("a")
+        for i in range(4):
+            n = c.gate(CellKind.BUF, n, name=f"b{i}")
+        c.mark_output(n)
+        dens = transition_densities(c, 0.5)
+        assert dens[n] == pytest.approx(0.5)
+
+    def test_and_attenuates_density(self):
+        """D(and) = p_b D(a) + p_a D(b) = 0.5 for p = D = 0.5."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b)
+        c.mark_output(y)
+        dens = transition_densities(c, 0.5)
+        assert dens[y] == pytest.approx(0.5)
+
+    def test_xor_sums_densities(self):
+        """XOR is sensitised to every input: D(y) = D(a) + D(b)."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.XOR, a, b)
+        c.mark_output(y)
+        dens = transition_densities(c, 0.5)
+        assert dens[y] == pytest.approx(1.0)
+
+    def test_density_grows_along_carry_chain(self):
+        """Densities reproduce the RCA's rising carry activity (eq. 2)."""
+        from repro.circuits.adders import build_rca_circuit
+
+        c, ports = build_rca_circuit(8, with_cin=False)
+        dens = transition_densities(c, 0.5)
+        carries = [dens[n] for n in ports["carries"]]
+        assert carries == sorted(carries)  # monotone like eq. 2
+
+    def test_ff_caps_density(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        x = c.gate(CellKind.XOR, a, b)
+        y = c.gate(CellKind.XOR, x, a)
+        q = c.add_dff(y, name="ff")
+        c.mark_output(q)
+        dens = transition_densities(c, 0.9)
+        assert dens[q] <= 1.0
+
+    def test_negative_density_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.mark_output(c.gate(CellKind.BUF, a))
+        with pytest.raises(ValueError):
+            transition_densities(c, -0.5)
+
+    def test_density_tracks_glitches_better_than_zero_delay(self, rng):
+        """On the RCA, density >= useful-only estimate (it sees glitches)."""
+        from repro.circuits.adders import build_rca_circuit
+
+        c, ports = build_rca_circuit(8, with_cin=False)
+        dens = transition_densities(c, 0.5)
+        act = switching_activity(c, 0.5)
+        top_sum = ports["sums"][-1]
+        assert dens[top_sum] > act[top_sum]

@@ -1,0 +1,83 @@
+"""Shape tests for the extension experiments (balance, video) and the
+public API surface."""
+
+import pytest
+
+from repro.experiments.balance import (
+    balancing_vs_retiming_experiment,
+    format_balance_comparison,
+)
+from repro.experiments.video import video_vs_random_experiment
+
+pytestmark = pytest.mark.integration
+
+
+class TestBalanceExperiment:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return balancing_vs_retiming_experiment(n_bits=10, n_vectors=120)
+
+    def test_balanced_variant_glitch_free(self, data):
+        assert data["rows"]["balanced"]["useless"] == 0
+        assert data["rows"]["balanced"]["L/F"] == 0.0
+
+    def test_pipelined_variant_reduces_glitches(self, data):
+        assert (
+            data["rows"]["pipelined"]["useless"]
+            < data["rows"]["original"]["useless"]
+        )
+
+    def test_costs_reported(self, data):
+        rows = data["rows"]
+        assert rows["balanced"]["cells"] > rows["original"]["cells"]
+        assert rows["pipelined"]["flipflops"] > 0
+        assert rows["balanced"]["area_mm2"] > rows["original"]["area_mm2"]
+        assert data["buffers_inserted"] > 0
+
+    def test_formatting(self, data):
+        text = format_balance_comparison(data)
+        assert "balanced" in text and "pipelined" in text
+
+
+class TestVideoExperiment:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return video_vs_random_experiment(width=16, height=8, n_fields=2)
+
+    def test_equal_workloads(self, data):
+        assert data["video"]["cycles"] == data["random"]["cycles"]
+
+    def test_both_glitch_dominated(self, data):
+        assert data["video"]["L/F"] > 1.5
+        assert data["random"]["L/F"] > 1.5
+
+    def test_site_count(self, data):
+        assert data["sites"] == 2 * (8 - 1) * 16 - 1
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.circuits as c
+        import repro.core as core
+        import repro.estimate as est
+        import repro.netlist as nl
+        import repro.opt as opt
+        import repro.retime as rt
+        import repro.sim as sim
+        import repro.tech as tech
+        import repro.video as video
+
+        for module in (c, core, est, nl, opt, rt, sim, tech, video):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module, name)

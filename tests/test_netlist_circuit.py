@@ -1,0 +1,190 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit, int_to_bits, word_value
+
+
+class TestConstruction:
+    def test_nets_and_names(self):
+        c = Circuit("t")
+        n = c.new_net("x")
+        assert c.net("x") == n
+        assert c.net_name(n) == "x"
+        assert "x" in c
+
+    def test_duplicate_net_name_rejected(self):
+        c = Circuit("t")
+        c.new_net("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            c.new_net("x")
+
+    def test_anonymous_names_skip_taken(self):
+        c = Circuit("t")
+        c.new_net("n0")
+        auto = c.new_net()
+        assert c.net_name(auto) != "n0"
+
+    def test_input_word_lsb_first(self):
+        c = Circuit("t")
+        w = c.add_input_word("a", 4)
+        assert [c.net_name(n) for n in w] == ["a[0]", "a[1]", "a[2]", "a[3]"]
+        assert c.inputs == w
+
+    def test_single_driver_enforced(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b, name="g1")
+        with pytest.raises(ValueError, match="already driven"):
+            c.add_cell(CellKind.OR, [a, b], [y], name="g2")
+
+    def test_driving_missing_net_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        with pytest.raises(ValueError, match="no such net"):
+            c.add_cell(CellKind.NOT, [a], [999])
+
+    def test_duplicate_cell_name_rejected(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.gate(CellKind.NOT, a, name="g")
+        with pytest.raises(ValueError, match="duplicate cell"):
+            c.gate(CellKind.NOT, a, name="g")
+
+    def test_fanout_tracks_duplicate_pins(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.gate(CellKind.XOR, a, a, name="g")
+        assert c.nets[a].fanout == [0, 0]
+
+    def test_mark_output_alias(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.gate(CellKind.NOT, a)
+        c.mark_output(y, "result")
+        assert c.net("result") == y
+
+    def test_gate_returns_output_net(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.gate(CellKind.NOT, a)
+        assert c.nets[y].driver == (0, 0)
+
+    def test_dff_word(self):
+        c = Circuit("t")
+        w = c.add_input_word("d", 3)
+        q = c.add_dff_word(w, name="r")
+        assert len(q) == 3
+        assert c.num_flipflops == 3
+        assert all(cell.kind is CellKind.DFF for cell in c.flipflops)
+
+
+class TestStructureQueries:
+    def _chain(self, depth: int) -> Circuit:
+        c = Circuit("chain")
+        n = c.add_input("a")
+        for i in range(depth):
+            n = c.gate(CellKind.NOT, n, name=f"inv{i}")
+        c.mark_output(n, "y")
+        return c
+
+    def test_topological_order_respects_deps(self):
+        c = self._chain(5)
+        order = [cell.name for cell in c.topological_cells()]
+        assert order == [f"inv{i}" for i in range(5)]
+
+    def test_combinational_cycle_detected(self):
+        c = Circuit("loop")
+        a = c.add_input("a")
+        fb = c.new_net("fb")
+        y = c.gate(CellKind.AND, a, fb, name="g1")
+        c.add_cell(CellKind.NOT, [y], [fb], name="g2")
+        with pytest.raises(ValueError, match="cycle"):
+            c.topological_cells()
+
+    def test_dff_breaks_cycle(self):
+        c = Circuit("counter_bit")
+        q = c.new_net("q")
+        nq = c.gate(CellKind.NOT, q, name="inv")
+        c.add_cell(CellKind.DFF, [nq], [q], name="ff")
+        assert [cell.name for cell in c.topological_cells()] == ["inv"]
+
+    def test_levelize_unit(self):
+        c = self._chain(4)
+        level = c.levelize()
+        assert level[c.net("y")] == 4
+
+    def test_levelize_custom_delay(self):
+        c = self._chain(3)
+        level = c.levelize(lambda cell, pos: 5)
+        assert level[c.net("y")] == 15
+
+    def test_critical_path_includes_ff_inputs(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = c.gate(CellKind.NOT, a, name="g0")
+        x = c.gate(CellKind.NOT, x, name="g1")
+        c.add_dff(x, name="ff")  # FF D pin is a timing endpoint
+        assert c.critical_path_length() == 2
+
+    def test_kind_histogram(self):
+        c = self._chain(3)
+        assert c.kind_histogram() == {"NOT": 3}
+
+
+class TestFunctionalEvaluate:
+    def test_combinational(self):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.XOR, a, b, name="g")
+        c.mark_output(y, "y")
+        for av in (0, 1):
+            for bv in (0, 1):
+                values, state = c.evaluate([av, bv])
+                assert values[y] == av ^ bv
+                assert state == {}
+
+    def test_wrong_input_count(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(ValueError, match="expected 1"):
+            c.evaluate([0, 1])
+
+    def test_state_advance(self):
+        c = Circuit("t")
+        d = c.add_input("d")
+        q = c.add_dff(d, name="ff")
+        c.mark_output(q, "q")
+        ff_index = c.flipflops[0].index
+        values, state = c.evaluate([1], state={})
+        assert values[q] == 0  # old state visible this cycle
+        assert state[ff_index] == 1  # new value captured for next cycle
+        values, state = c.evaluate([0], state=state)
+        assert values[q] == 1
+
+    def test_two_stage_shift_register(self):
+        c = Circuit("t")
+        d = c.add_input("d")
+        q1 = c.add_dff(d, name="ff1")
+        q2 = c.add_dff(q1, name="ff2")
+        c.mark_output(q2, "q")
+        state: dict = {}
+        seen = []
+        stream = [1, 0, 1, 1, 0, 0, 1]
+        for bit in stream:
+            values, state = c.evaluate([bit], state)
+            seen.append(values[q2])
+        assert seen == [0, 0] + stream[:-2]
+
+
+class TestWordHelpers:
+    def test_word_value_and_int_to_bits_roundtrip(self):
+        bits = int_to_bits(0b1011, 6)
+        assert bits == [1, 1, 0, 1, 0, 0]
+        values = {i: b for i, b in enumerate(bits)}
+        assert word_value(values, range(6)) == 0b1011
+
+    def test_int_to_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)

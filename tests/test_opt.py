@@ -1,0 +1,214 @@
+"""Tests for the optimisation passes: balancing and clean-up transforms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.adders import build_rca_circuit
+from repro.circuits.multipliers import build_multiplier_circuit
+from repro.core.activity import analyze
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.netlist.validate import validate
+from repro.opt.balance import balance_paths, balancing_report
+from repro.opt.transform import (
+    dead_cell_elimination,
+    propagate_constants,
+    strip_buffers,
+)
+from repro.sim.delays import SumCarryDelay, ZeroDelay
+from repro.sim.vectors import WordStimulus
+
+from tests.conftest import random_dag_circuit
+
+
+def _equivalent(c1: Circuit, c2: Circuit, rng, trials=60) -> bool:
+    for _ in range(trials):
+        bits = [rng.randint(0, 1) for _ in c1.inputs]
+        v1, _ = c1.evaluate(bits)
+        v2, _ = c2.evaluate(bits)
+        if [v1[n] for n in c1.outputs] != [v2[n] for n in c2.outputs]:
+            return False
+    return True
+
+
+class TestBalancePaths:
+    def test_function_preserved(self, rng):
+        base, _ = build_rca_circuit(10, with_cin=False)
+        balanced, _ = balance_paths(base)
+        assert _equivalent(base, balanced, rng)
+
+    def test_eliminates_all_useless_transitions(self, rng):
+        base, ports = build_rca_circuit(10, with_cin=False)
+        balanced, _ = balance_paths(base)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        result = analyze(balanced, stim.random(rng, 201))
+        assert result.useless == 0
+        assert result.useful > 0
+
+    def test_multiplier_balanced_too(self, rng):
+        base, ports = build_multiplier_circuit(5, "array")
+        balanced, stats = balance_paths(base)
+        assert stats.buffers_inserted > 0
+        stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+        result = analyze(balanced, stim.random(rng, 101))
+        assert result.useless == 0
+
+    def test_respects_sum_carry_delay(self, rng):
+        base, ports = build_rca_circuit(6, with_cin=False)
+        model = SumCarryDelay(dsum=2, dcarry=1)
+        balanced, _ = balance_paths(base, model)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        result = analyze(balanced, stim.random(rng, 151), delay_model=model)
+        assert result.useless == 0
+
+    def test_flipflops_preserved(self, rng):
+        base, _ = build_rca_circuit(6, with_cin=False)
+        from repro.retime.pipeline import pipeline_circuit
+
+        pipe = pipeline_circuit(base, 1).circuit
+        balanced, _ = balance_paths(pipe)
+        assert balanced.num_flipflops == pipe.num_flipflops
+
+    def test_validates_clean(self):
+        base, _ = build_rca_circuit(8, with_cin=False)
+        balanced, _ = balance_paths(base)
+        assert not [i for i in validate(balanced) if i.severity == "error"]
+
+    def test_zero_delay_model_rejected(self):
+        base, _ = build_rca_circuit(4, with_cin=False)
+        with pytest.raises(ValueError, match="delay >= 1"):
+            balance_paths(base, ZeroDelay())
+
+    def test_stats(self):
+        base, _ = build_rca_circuit(8, with_cin=False)
+        _, stats = balance_paths(base)
+        assert stats.buffers_inserted > 0
+        assert stats.max_skew_padded > 0
+        assert stats.overhead_ratio == pytest.approx(
+            stats.buffers_inserted / len(base.cells)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_random_circuits_glitch_free_property(self, seed):
+        """Balancing any random DAG makes every node single-toggle."""
+        rng = random.Random(seed)
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=12)
+        balanced, _ = balance_paths(c)
+        stim_vec = lambda: [rng.randint(0, 1) for _ in balanced.inputs]  # noqa: E731
+        result = analyze(balanced, [stim_vec() for _ in range(30)])
+        assert result.useless == 0
+
+
+class TestBalancingReport:
+    def test_rca_is_heavily_skewed(self):
+        base, _ = build_rca_circuit(16, with_cin=False)
+        report = balancing_report(base)
+        assert report["max_skew"] == 15
+        assert report["skewed_fraction"] > 0.9
+
+    def test_balanced_circuit_reports_zero(self):
+        base, _ = build_rca_circuit(8, with_cin=False)
+        balanced, _ = balance_paths(base)
+        report = balancing_report(balanced)
+        assert report["mean_skew"] == 0.0
+
+    def test_empty(self):
+        c = Circuit("empty")
+        a = c.add_input("a")
+        c.mark_output(a)
+        assert balancing_report(c)["cells"] == 0
+
+
+class TestStripBuffers:
+    def test_inverse_of_balancing(self, rng):
+        base, _ = build_rca_circuit(8, with_cin=False)
+        balanced, _ = balance_paths(base)
+        stripped = strip_buffers(balanced)
+        assert len(stripped.cells) == len(base.cells)
+        assert _equivalent(base, stripped, rng)
+
+    def test_buffer_chain_collapses(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        n = a
+        for i in range(5):
+            n = c.gate(CellKind.BUF, n, name=f"b{i}")
+        y = c.gate(CellKind.NOT, n, name="inv")
+        c.mark_output(y)
+        stripped = strip_buffers(c)
+        assert len(stripped.cells) == 1
+        assert _equivalent(c, stripped, rng)
+
+
+class TestDeadCellElimination:
+    def test_drops_unreachable_logic(self, rng):
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b, name="live")
+        c.gate(CellKind.OR, a, b, name="dead")
+        c.mark_output(y)
+        out = dead_cell_elimination(c)
+        assert len(out.cells) == 1
+        assert _equivalent(c, out, rng)
+
+    def test_keeps_ff_cones(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        x = c.gate(CellKind.NOT, a, name="g")
+        q = c.add_dff(x, name="ff")
+        c.mark_output(q)
+        out = dead_cell_elimination(c)
+        assert len(out.cells) == 2
+
+    def test_noop_on_clean_circuit(self):
+        base, _ = build_rca_circuit(6, with_cin=False)
+        out = dead_cell_elimination(base)
+        assert len(out.cells) == len(base.cells)
+
+
+class TestConstantPropagation:
+    def test_folds_constant_cone(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        one = c.add_cell(CellKind.CONST1, [], name="c1").outputs[0]
+        zero = c.add_cell(CellKind.CONST0, [], name="c0").outputs[0]
+        dead_and = c.gate(CellKind.AND, one, zero, name="g0")  # == 0
+        y = c.gate(CellKind.OR, a, dead_and, name="g1")
+        c.mark_output(y)
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+        # g0 folded to a constant, then DCE removed the dead const cells.
+        kinds = out.kind_histogram()
+        assert kinds.get("AND", 0) == 0
+
+    def test_forcing_inputs(self, rng):
+        """AND with one constant-0 input folds regardless of the rest."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        zero = c.add_cell(CellKind.CONST0, [], name="c0").outputs[0]
+        y = c.gate(CellKind.AND, a, zero, name="g")
+        z = c.gate(CellKind.OR, y, a, name="h")
+        c.mark_output(z)
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+        assert out.kind_histogram().get("AND", 0) == 0
+
+    def test_function_preserved_on_carry_select(self, rng):
+        """The carry-select adder has constant carry hypotheses to fold."""
+        from repro.circuits.adders import carry_select_adder
+
+        c = Circuit("csel")
+        a = c.add_input_word("a", 8)
+        b = c.add_input_word("b", 8)
+        sums, cout = carry_select_adder(c, a, b)
+        c.mark_output_word(sums, "s")
+        c.mark_output(cout)
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+        # Constant carry hypotheses fold FA(a, b, const) cells away.
+        assert out.kind_histogram().get("FA", 0) < c.kind_histogram()["FA"]
+        assert out.kind_histogram().get("CONST0", 0) == 0
+        assert out.kind_histogram().get("CONST1", 0) == 0

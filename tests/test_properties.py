@@ -1,0 +1,156 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the definitional invariants of the paper's method over
+*randomly generated circuits*, not just the fixed benchmark netlists:
+
+1. the event-driven simulator settles to the functional value under
+   every delay model;
+2. parity classification coincides with settled-value change per node
+   per cycle;
+3. rises and falls alternate (they differ by at most one per cycle);
+4. retiming/pipelining preserves function modulo latency;
+5. path balancing always produces glitch-free circuits.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activity import analyze
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.opt.balance import balance_paths
+from repro.retime.pipeline import pipeline_circuit
+from repro.sim.delays import PerKindDelay, SumCarryDelay, UnitDelay
+from repro.sim.engine import Simulator
+
+from tests.conftest import random_dag_circuit
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, model_index=st.integers(min_value=0, max_value=2))
+def test_settling_correct_under_any_delay_model(seed, model_index):
+    rng = random.Random(seed)
+    circuit = random_dag_circuit(rng, n_inputs=4, n_gates=10)
+    model = [
+        UnitDelay(),
+        SumCarryDelay(dsum=3, dcarry=1, other=2),
+        PerKindDelay({CellKind.XOR: 4, CellKind.AND: 2}),
+    ][model_index]
+    sim = Simulator(circuit, model)
+    sim.settle([0] * len(circuit.inputs))
+    for _ in range(4):
+        vec = [rng.randint(0, 1) for _ in circuit.inputs]
+        sim.step(vec)
+        expected, _ = circuit.evaluate(vec)
+        assert all(sim.values[n] == v for n, v in expected.items())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_parity_equals_settled_change(seed):
+    rng = random.Random(seed)
+    circuit = random_dag_circuit(rng, n_inputs=5, n_gates=12)
+    sim = Simulator(circuit)
+    sim.settle([0] * len(circuit.inputs))
+    previous = list(sim.values)
+    for _ in range(6):
+        vec = [rng.randint(0, 1) for _ in circuit.inputs]
+        trace = sim.step(vec)
+        for net, toggles in trace.toggles.items():
+            assert (toggles % 2 == 1) == (sim.values[net] != previous[net])
+        previous = list(sim.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_rises_and_falls_alternate(seed):
+    """Per node per cycle: |rises - falls| <= 1 (transitions alternate)."""
+    rng = random.Random(seed)
+    circuit = random_dag_circuit(rng, n_inputs=4, n_gates=12)
+    sim = Simulator(circuit)
+    sim.settle([0] * len(circuit.inputs))
+    for _ in range(6):
+        vec = [rng.randint(0, 1) for _ in circuit.inputs]
+        trace = sim.step(vec)
+        for net, toggles in trace.toggles.items():
+            rises = trace.rises.get(net, 0)
+            falls = toggles - rises
+            assert abs(rises - falls) <= 1
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds, stages=st.integers(min_value=1, max_value=3))
+def test_pipelining_preserves_function_mod_latency(seed, stages):
+    rng = random.Random(seed)
+    base = random_dag_circuit(rng, n_inputs=4, n_gates=10)
+    result = pipeline_circuit(base, stages)
+    vectors = [
+        [rng.randint(0, 1) for _ in base.inputs] for _ in range(14 + stages)
+    ]
+    sim_ref, sim_pip = Simulator(base), Simulator(result.circuit)
+    sim_ref.settle(vectors[0])
+    sim_pip.settle(vectors[0])
+    ref, pip = [], []
+    for vec in vectors:
+        sim_ref.step(vec)
+        ref.append([sim_ref.values[n] for n in base.outputs])
+        sim_pip.step(vec)
+        pip.append([sim_pip.values[n] for n in result.circuit.outputs])
+    for k in range(6, len(vectors) - stages):
+        assert pip[k + stages] == ref[k]
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=seeds)
+def test_balancing_always_glitch_free(seed):
+    rng = random.Random(seed)
+    base = random_dag_circuit(rng, n_inputs=4, n_gates=10)
+    balanced, _ = balance_paths(base)
+    vectors = [
+        [rng.randint(0, 1) for _ in balanced.inputs] for _ in range(25)
+    ]
+    result = analyze(balanced, vectors)
+    assert result.useless == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_json_round_trip_equivalence(seed):
+    from repro.netlist.io import circuit_from_json, circuit_to_json
+
+    rng = random.Random(seed)
+    base = random_dag_circuit(rng, n_inputs=4, n_gates=10, with_ffs=True)
+    clone = circuit_from_json(circuit_to_json(base))
+    state_a: dict = {}
+    state_b: dict = {}
+    for _ in range(6):
+        vec = [rng.randint(0, 1) for _ in base.inputs]
+        va, state_a = base.evaluate(vec, state_a)
+        vb, state_b = clone.evaluate(vec, state_b)
+        assert [va[n] for n in base.outputs] == [vb[n] for n in clone.outputs]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_transforms_preserve_function(seed):
+    from repro.opt.transform import (
+        dead_cell_elimination,
+        propagate_constants,
+        strip_buffers,
+    )
+
+    rng = random.Random(seed)
+    base = random_dag_circuit(rng, n_inputs=4, n_gates=12)
+    for transform in (dead_cell_elimination, propagate_constants, strip_buffers):
+        out = transform(base)
+        for _ in range(8):
+            vec = [rng.randint(0, 1) for _ in base.inputs]
+            va, _ = base.evaluate(vec)
+            vb, _ = out.evaluate(vec)
+            assert [va[n] for n in base.outputs] == [
+                vb[n] for n in out.outputs
+            ], transform.__name__

@@ -1,0 +1,134 @@
+"""Unit tests for FEAS and minimum-period retiming."""
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.retime.graph import RetimingGraph
+from repro.retime.leiserson_saxe import (
+    combinational_delays,
+    feas,
+    minimum_period,
+    retime_for_period,
+)
+from repro.sim.delays import PerKindDelay
+
+
+def _chain_circuit(length: int, registered_output: bool = True) -> Circuit:
+    """A chain of *length* inverters with a register at the output."""
+    c = Circuit("chain")
+    n = c.add_input("a")
+    for i in range(length):
+        n = c.gate(CellKind.NOT, n, name=f"g{i}")
+    if registered_output:
+        n = c.add_dff(n, name="ff_out")
+    c.mark_output(n)
+    return c
+
+
+class TestFeas:
+    def test_unretimed_period_always_feasible(self):
+        c = _chain_circuit(6)
+        g = RetimingGraph.from_circuit(c)
+        r = feas(g, 6)
+        assert r is not None
+        assert g.is_legal(r)
+
+    def test_below_max_vertex_delay_infeasible(self):
+        c = _chain_circuit(3)
+        g = RetimingGraph.from_circuit(c, PerKindDelay({CellKind.NOT: 4}))
+        assert feas(g, 3) is None
+
+    def test_register_moves_to_split_chain(self):
+        """One register + 6-deep chain: period 3 needs the FF mid-chain."""
+        c = _chain_circuit(6)
+        g = RetimingGraph.from_circuit(c)
+        r = feas(g, 3)
+        assert r is not None
+        # g3, g4, g5's lag must pull the output register backward.
+        lags = {c.cells[v].name: lag for v, lag in r.items() if v >= 0}
+        assert any(lag > 0 for lag in lags.values())
+
+    def test_impossible_without_enough_registers(self):
+        """A 6-chain with one register cannot reach period 2."""
+        c = _chain_circuit(6)
+        g = RetimingGraph.from_circuit(c)
+        assert feas(g, 2) is None
+
+    def test_more_stages_enable_shorter_period(self):
+        c = _chain_circuit(6, registered_output=False)
+        g = RetimingGraph.from_circuit(c).with_output_stages(2)
+        assert feas(g, 2) is not None
+
+    def test_retime_for_period_raises(self):
+        c = _chain_circuit(6)
+        g = RetimingGraph.from_circuit(c)
+        with pytest.raises(ValueError, match="no retiming"):
+            retime_for_period(g, 1)
+
+
+class TestMinimumPeriod:
+    def test_chain_with_one_register(self):
+        """6 unit-delay cells, 1 register -> optimal split 3 + 3."""
+        c = _chain_circuit(6)
+        g = RetimingGraph.from_circuit(c)
+        period, r = minimum_period(g)
+        assert period == 3
+        assert g.is_legal(r)
+
+    def test_combinational_circuit_period_is_depth(self):
+        c = _chain_circuit(5, registered_output=False)
+        g = RetimingGraph.from_circuit(c)
+        period, _ = minimum_period(g)
+        assert period == 5  # no registers to move
+
+    def test_pipelined_stages_divide_depth(self):
+        c = _chain_circuit(8, registered_output=False)
+        g = RetimingGraph.from_circuit(c).with_output_stages(3)
+        period, r = minimum_period(g)
+        assert period == 2  # ceil(8 / 4)
+        assert g.is_legal(r)
+
+    def test_ring_counter_min_period(self):
+        """A registered ring: period = total delay / registers (ceil)."""
+        c = Circuit("ring")
+        loop = c.new_net("loop")
+        n = loop
+        for i in range(4):
+            n = c.gate(CellKind.NOT, n, name=f"g{i}")
+        q = c.add_dff(n, name="ff1")
+        c.add_cell(CellKind.DFF, [q], [loop], name="ff2")
+        c.mark_output(q)
+        g = RetimingGraph.from_circuit(c)
+        period, r = minimum_period(g)
+        assert period == 2  # 4 units of delay over 2 registers
+        assert g.is_legal(r)
+
+    def test_register_free_cycle_rejected(self):
+        c = Circuit("bad")
+        fb = c.new_net("fb")
+        a = c.add_input("a")
+        y = c.gate(CellKind.AND, a, fb, name="g1")
+        c.add_cell(CellKind.NOT, [y], [fb], name="g2")
+        c.mark_output(y)
+        g = RetimingGraph.from_circuit(c)
+        with pytest.raises(ValueError, match="register-free cycle"):
+            minimum_period(g)
+
+
+class TestDelays:
+    def test_combinational_delays_max_over_outputs(self):
+        from repro.sim.delays import SumCarryDelay
+
+        c = Circuit("t")
+        a, b, ci = (c.add_input(x) for x in "abc")
+        fa = c.add_cell(CellKind.FA, [a, b, ci], name="fa")
+        for out in fa.outputs:
+            c.mark_output(out)
+        d = combinational_delays(c, SumCarryDelay(dsum=3, dcarry=1))
+        assert d[fa.index] == 3
+
+    def test_dffs_excluded(self):
+        c = _chain_circuit(2)
+        d = combinational_delays(c)
+        assert all(not c.cells[i].is_sequential for i in d)

@@ -1,0 +1,91 @@
+"""Unit tests for delay models."""
+
+import pytest
+
+from repro.netlist.cells import Cell, CellKind
+from repro.sim.delays import (
+    HintedDelay,
+    PerKindDelay,
+    SumCarryDelay,
+    UnitDelay,
+    ZeroDelay,
+)
+
+
+def _fa():
+    return Cell("fa", CellKind.FA, (0, 1, 2), (3, 4))
+
+
+def _xor():
+    return Cell("x", CellKind.XOR, (0, 1), (2,))
+
+
+class TestUnitAndZero:
+    def test_unit(self):
+        m = UnitDelay()
+        assert m.delay(_fa(), 0) == 1
+        assert m.delay(_fa(), 1) == 1
+        assert m.delay(_xor(), 0) == 1
+
+    def test_zero(self):
+        m = ZeroDelay()
+        assert m.delay(_xor(), 0) == 0
+
+    def test_describe(self):
+        assert "unit" in UnitDelay().describe()
+        assert "zero" in ZeroDelay().describe()
+
+
+class TestPerKind:
+    def test_lookup_and_default(self):
+        m = PerKindDelay({CellKind.XOR: 3}, default=2)
+        assert m.delay(_xor(), 0) == 3
+        assert m.delay(_fa(), 0) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PerKindDelay({CellKind.AND: -1})
+
+    def test_describe_lists_entries(self):
+        text = PerKindDelay({CellKind.XOR: 3}).describe()
+        assert "XOR=3" in text
+
+
+class TestSumCarry:
+    def test_fa_outputs_split(self):
+        m = SumCarryDelay(dsum=2, dcarry=1)
+        assert m.delay(_fa(), 0) == 2  # sum
+        assert m.delay(_fa(), 1) == 1  # carry
+
+    def test_ha_also_split(self):
+        m = SumCarryDelay(dsum=3, dcarry=1)
+        ha = Cell("ha", CellKind.HA, (0, 1), (2, 3))
+        assert m.delay(ha, 0) == 3
+        assert m.delay(ha, 1) == 1
+
+    def test_other_kinds_use_other(self):
+        m = SumCarryDelay(dsum=2, dcarry=1, other=4)
+        assert m.delay(_xor(), 0) == 4
+
+    def test_rejects_sub_unit_delay(self):
+        with pytest.raises(ValueError):
+            SumCarryDelay(dsum=0)
+
+    def test_describe(self):
+        assert "dsum=2" in SumCarryDelay(2, 1).describe()
+
+
+class TestHinted:
+    def test_hint_honoured(self):
+        cell = Cell("g", CellKind.XOR, (0, 1), (2,), delay_hint=(7,))
+        assert HintedDelay().delay(cell, 0) == 7
+
+    def test_fallback_without_hint(self):
+        m = HintedDelay(PerKindDelay({CellKind.XOR: 5}))
+        assert m.delay(_xor(), 0) == 5
+
+    def test_hint_shorter_than_outputs(self):
+        cell = Cell("fa", CellKind.FA, (0, 1, 2), (3, 4), delay_hint=(9,))
+        m = HintedDelay()
+        assert m.delay(cell, 0) == 9
+        assert m.delay(cell, 1) == 1  # falls back for the carry

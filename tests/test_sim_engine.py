@@ -1,0 +1,238 @@
+"""Unit tests for the event-driven simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.sim.delays import PerKindDelay, SumCarryDelay, UnitDelay, ZeroDelay
+from repro.sim.engine import Simulator
+
+from tests.conftest import random_dag_circuit
+
+
+class TestGlitchMechanics:
+    def test_static_hazard_produces_glitch(self, glitchy_and):
+        """AND(a, NOT a): rising a glitches the output 0->1->0."""
+        sim = Simulator(glitchy_and)
+        y = glitchy_and.net("y")
+        sim.settle({glitchy_and.net("a"): 0})
+        trace = sim.step({glitchy_and.net("a"): 1})
+        assert trace.toggles.get(y) == 2  # even count: pure glitch
+        assert trace.rises.get(y) == 1
+        assert sim.values[y] == 0  # settled value unchanged
+
+    def test_no_glitch_on_falling_input(self, glitchy_and):
+        sim = Simulator(glitchy_and)
+        y = glitchy_and.net("y")
+        sim.settle({glitchy_and.net("a"): 1})
+        trace = sim.step({glitchy_and.net("a"): 0})
+        # Falling a: AND sees (0, 0) then (0, 1): output stays 0.
+        assert trace.toggles.get(y, 0) == 0
+
+    def test_balanced_paths_do_not_glitch(self):
+        """XOR(BUF(a), BUF(b)) with equal delays: at most one toggle."""
+        c = Circuit("balanced")
+        a, b = c.add_input("a"), c.add_input("b")
+        ba = c.gate(CellKind.BUF, a)
+        bb = c.gate(CellKind.BUF, b)
+        y = c.gate(CellKind.XOR, ba, bb)
+        c.mark_output(y)
+        sim = Simulator(c)
+        sim.settle([0, 0])
+        trace = sim.step([1, 1])
+        # Both edges arrive simultaneously: XOR output never moves.
+        assert trace.toggles.get(y, 0) == 0
+
+    def test_unbalanced_paths_glitch(self):
+        """Same XOR but one input path slower: transient appears."""
+        c = Circuit("unbalanced")
+        a, b = c.add_input("a"), c.add_input("b")
+        ba = c.gate(CellKind.BUF, a)
+        slow = c.gate(CellKind.BUF, b)
+        slow = c.gate(CellKind.BUF, slow)
+        y = c.gate(CellKind.XOR, ba, slow)
+        c.mark_output(y)
+        sim = Simulator(c)
+        sim.settle([0, 0])
+        trace = sim.step([1, 1])
+        assert trace.toggles.get(y) == 2  # glitch from the delay skew
+
+
+class TestSettledCorrectness:
+    def test_step_matches_functional_eval(self, rng):
+        """After any step the settled values equal Circuit.evaluate."""
+        for _ in range(10):
+            c = random_dag_circuit(rng, n_inputs=5, n_gates=15)
+            sim = Simulator(c)
+            vec0 = [rng.randint(0, 1) for _ in c.inputs]
+            sim.settle(vec0)
+            for _ in range(5):
+                vec = [rng.randint(0, 1) for _ in c.inputs]
+                sim.step(vec)
+                expected, _ = c.evaluate(vec)
+                for net, val in expected.items():
+                    assert sim.values[net] == val
+
+    def test_delay_model_does_not_change_settled_values(self, rng):
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=12)
+        models = [UnitDelay(), PerKindDelay({CellKind.XOR: 3}), SumCarryDelay()]
+        sims = [Simulator(c, m) for m in models]
+        vec0 = [0] * len(c.inputs)
+        for s in sims:
+            s.settle(vec0)
+        for _ in range(8):
+            vec = [rng.randint(0, 1) for _ in c.inputs]
+            finals = []
+            for s in sims:
+                s.step(vec)
+                finals.append(tuple(s.values))
+            assert finals[0] == finals[1] == finals[2]
+
+
+class TestFlipflops:
+    def _shift_register(self, depth: int) -> Circuit:
+        c = Circuit("shift")
+        n = c.add_input("d")
+        for i in range(depth):
+            n = c.add_dff(n, name=f"ff{i}")
+        c.mark_output(n, "q")
+        return c
+
+    def test_shift_register_latency(self):
+        c = self._shift_register(3)
+        sim = Simulator(c)
+        q = c.net("q")
+        stream = [1, 0, 1, 1, 0, 1, 0, 0]
+        sim.settle([0])
+        seen = []
+        for bit in stream:
+            sim.step([bit])
+            seen.append(sim.values[q])
+        assert seen == [0, 0, 0] + stream[:-3]
+
+    def test_ff_output_toggles_at_most_once_per_cycle(self, rng):
+        c = self._shift_register(4)
+        sim = Simulator(c)
+        sim.settle([0])
+        for _ in range(20):
+            trace = sim.step([rng.randint(0, 1)])
+            for cell in c.flipflops:
+                assert trace.toggles.get(cell.outputs[0], 0) <= 1
+
+    def test_toggle_flipflop_divides_by_two(self):
+        """NOT-loop flipflop: q alternates every cycle."""
+        c = Circuit("toggle")
+        q = c.new_net("q")
+        nq = c.gate(CellKind.NOT, q, name="inv")
+        c.add_cell(CellKind.DFF, [nq], [q], name="ff")
+        c.mark_output(q)
+        sim = Simulator(c)
+        sim.settle([])  # initialise the inverter output from q = 0
+        values = []
+        for _ in range(6):
+            sim.step([])
+            values.append(sim.values[q])
+        assert values == [1, 0, 1, 0, 1, 0]
+
+
+class TestStepApi:
+    def test_positional_vector_length_checked(self, xor_chain):
+        sim = Simulator(xor_chain)
+        with pytest.raises(ValueError, match="expected 3"):
+            sim.step([0, 1])
+
+    def test_mapping_vector_partial_update(self, xor_chain):
+        sim = Simulator(xor_chain)
+        sim.settle([1, 0, 0])
+        sim.step({xor_chain.net("in1"): 1})  # others keep their values
+        assert sim.values[xor_chain.net("out")] == 0  # 1^1^0
+
+    def test_run_consumes_first_vector_as_warmup(self, xor_chain):
+        sim = Simulator(xor_chain)
+        traces = sim.run([[0, 0, 0], [1, 0, 0], [1, 1, 0]])
+        assert len(traces) == 2
+        assert sim.cycle == 2
+
+    def test_run_with_explicit_warmup(self, xor_chain):
+        sim = Simulator(xor_chain)
+        traces = sim.run([[1, 0, 0]], warmup=[0, 0, 0])
+        assert len(traces) == 1
+
+    def test_run_empty(self, xor_chain):
+        assert Simulator(xor_chain).run([]) == []
+
+    def test_output_values_by_name(self, xor_chain):
+        sim = Simulator(xor_chain)
+        sim.settle([1, 1, 1])
+        assert sim.output_values() == {"out": 1}
+
+    def test_word_value(self):
+        c = Circuit("t")
+        w = c.add_input_word("a", 4)
+        for n in w:
+            c.mark_output(n)
+        sim = Simulator(c)
+        sim.settle([1, 0, 1, 1])
+        assert sim.word_value(w) == 0b1101
+
+    def test_settle_records_no_transitions(self, xor_chain):
+        sim = Simulator(xor_chain)
+        sim.settle([1, 1, 1])
+        assert sim.cycle == 0
+
+    def test_monitor_subset(self, xor_chain):
+        x1 = xor_chain.net("x1")
+        sim = Simulator(xor_chain, monitor=[x1])
+        sim.settle([0, 0, 0])
+        trace = sim.step([1, 1, 1])
+        assert set(trace.toggles) <= {x1}
+
+    def test_record_events(self, glitchy_and):
+        sim = Simulator(glitchy_and, record_events=True)
+        sim.settle({glitchy_and.net("a"): 0})
+        trace = sim.step({glitchy_and.net("a"): 1})
+        assert trace.events is not None
+        y = glitchy_and.net("y")
+        y_events = [(t, v) for t, n, v in trace.events if n == y]
+        assert y_events == [(1, 1), (2, 0)]
+
+    def test_settle_time(self, glitchy_and):
+        sim = Simulator(glitchy_and)
+        sim.settle({glitchy_and.net("a"): 0})
+        trace = sim.step({glitchy_and.net("a"): 1})
+        assert trace.settle_time == 2
+
+    def test_total_toggles_helper(self, glitchy_and):
+        sim = Simulator(glitchy_and)
+        sim.settle({glitchy_and.net("a"): 0})
+        trace = sim.step({glitchy_and.net("a"): 1})
+        assert trace.total_toggles() == trace.total_toggles(
+            range(len(glitchy_and.nets))
+        )
+
+
+class TestZeroDelayFunctionalMode:
+    def test_zero_delay_settles_correctly(self, xor_chain):
+        sim = Simulator(xor_chain, ZeroDelay())
+        sim.settle([0, 0, 0])
+        sim.step([1, 1, 0])
+        assert sim.values[xor_chain.net("out")] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_settled_equals_functional_eval_property(data):
+    """Hypothesis: event-driven settling == zero-delay evaluation."""
+    seed = data.draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    c = random_dag_circuit(rng, n_inputs=4, n_gates=10)
+    sim = Simulator(c)
+    sim.settle([0] * len(c.inputs))
+    vec = [data.draw(st.integers(min_value=0, max_value=1)) for _ in c.inputs]
+    sim.step(vec)
+    expected, _ = c.evaluate(vec)
+    for net, val in expected.items():
+        assert sim.values[net] == val

@@ -1,0 +1,66 @@
+"""Tests for the fanout-dependent LoadDelay model."""
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.sim.delays import LoadDelay
+from repro.sim.engine import Simulator
+
+
+def _fanout_circuit(fanout: int):
+    c = Circuit("t")
+    a = c.add_input("a")
+    y = c.gate(CellKind.NOT, a, name="drv")
+    for i in range(fanout):
+        c.mark_output(c.gate(CellKind.BUF, y, name=f"ld{i}"))
+    return c
+
+
+class TestLoadDelay:
+    def test_light_load_is_base(self):
+        c = _fanout_circuit(1)
+        model = LoadDelay(c, base=1, extra_per_load=1, loads_per_unit=3)
+        drv = c.cell("drv")
+        assert model.delay(drv, 0) == 1
+
+    def test_heavy_load_slower(self):
+        c = _fanout_circuit(7)
+        model = LoadDelay(c, base=1, extra_per_load=1, loads_per_unit=3)
+        drv = c.cell("drv")
+        assert model.delay(drv, 0) == 1 + (7 - 1) // 3
+
+    def test_monotone_in_fanout(self):
+        delays = []
+        for fo in (1, 4, 10):
+            c = _fanout_circuit(fo)
+            model = LoadDelay(c)
+            delays.append(model.delay(c.cell("drv"), 0))
+        assert delays == sorted(delays)
+
+    def test_guards(self):
+        c = _fanout_circuit(1)
+        with pytest.raises(ValueError):
+            LoadDelay(c, base=0)
+        with pytest.raises(ValueError):
+            LoadDelay(c, loads_per_unit=0)
+
+    def test_describe_names_circuit(self):
+        c = _fanout_circuit(2)
+        assert "t" in LoadDelay(c).describe()
+
+    def test_function_unchanged_under_load_delay(self, rng):
+        """Load skew reorders events but never the settled values."""
+        from repro.circuits.adders import build_rca_circuit
+        from repro.sim.vectors import WordStimulus
+
+        c, ports = build_rca_circuit(8, with_cin=False)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        sim = Simulator(c, LoadDelay(c))
+        sim.settle(stim.vector(a=0, b=0))
+        for _ in range(40):
+            av, bv = rng.randint(0, 255), rng.randint(0, 255)
+            sim.step(stim.vector(a=av, b=bv))
+            got = sim.word_value(ports["sums"])
+            got |= sim.values[ports["carries"][-1]] << 8
+            assert got == av + bv

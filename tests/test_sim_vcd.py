@@ -1,0 +1,78 @@
+"""Unit tests for the VCD writer."""
+
+import io
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.sim.engine import Simulator
+from repro.sim.vcd import VcdWriter, _identifier, dump_vcd
+
+
+def _glitchy():
+    c = Circuit("g")
+    a = c.add_input("a")
+    na = c.gate(CellKind.NOT, a, name="inv")
+    y = c.new_net("y")
+    c.gate(CellKind.AND, a, na, output=y, name="and")
+    c.mark_output(y)
+    return c
+
+
+class TestIdentifier:
+    def test_unique_for_first_10000(self):
+        ids = {_identifier(i) for i in range(10000)}
+        assert len(ids) == 10000
+
+    def test_printable(self):
+        for i in (0, 93, 94, 10000):
+            assert all(33 <= ord(ch) <= 126 for ch in _identifier(i))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+
+class TestVcdOutput:
+    def _traces(self, n=3):
+        c = _glitchy()
+        sim = Simulator(c, record_events=True)
+        sim.settle({c.net("a"): 0})
+        traces = [sim.step({c.net("a"): k % 2}) for k in range(1, n + 1)]
+        return c, traces
+
+    def test_header_declares_nets(self):
+        c, traces = self._traces()
+        text = dump_vcd(c, traces)
+        assert "$timescale" in text
+        assert f"$scope module {c.name}" in text
+        assert text.count("$var wire 1 ") == len(c.nets)
+
+    def test_events_present_and_monotonic(self):
+        c, traces = self._traces()
+        text = dump_vcd(c, traces, cycle_length=32)
+        times = [int(line[1:]) for line in text.splitlines() if line.startswith("#")]
+        assert times == sorted(times)
+        assert times[-1] == len(traces) * 32
+
+    def test_net_filter(self):
+        c, traces = self._traces()
+        y = c.net("y")
+        text = dump_vcd(c, traces, nets=[y])
+        assert text.count("$var wire 1 ") == 1
+
+    def test_requires_recorded_events(self):
+        c = _glitchy()
+        sim = Simulator(c)  # record_events=False
+        sim.settle({c.net("a"): 0})
+        trace = sim.step({c.net("a"): 1})
+        writer = VcdWriter(c, io.StringIO())
+        with pytest.raises(ValueError, match="record_events"):
+            writer.write_cycle(trace)
+
+    def test_cycle_length_guard(self):
+        c, traces = self._traces()
+        writer = VcdWriter(c, io.StringIO(), cycle_length=1)
+        with pytest.raises(ValueError, match="cycle_length"):
+            writer.write_cycle(traces[0])

@@ -1,0 +1,114 @@
+"""Unit tests for stimulus generation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.circuit import Circuit
+from repro.sim.vectors import (
+    WordStimulus,
+    correlated_words,
+    gray_sequence,
+    random_words,
+    walking_ones,
+)
+
+
+class TestGenerators:
+    def test_random_words_range(self):
+        words = random_words(random.Random(1), 6, 500)
+        assert len(words) == 500
+        assert all(0 <= w < 64 for w in words)
+
+    def test_random_words_cover_space(self):
+        words = random_words(random.Random(1), 3, 400)
+        assert set(words) == set(range(8))
+
+    def test_correlated_words_flip_rate(self):
+        words = correlated_words(random.Random(5), 16, 4000, 0.1)
+        flips = sum(
+            bin(a ^ b).count("1") for a, b in zip(words, words[1:])
+        )
+        rate = flips / (16 * (len(words) - 1))
+        assert 0.08 < rate < 0.12
+
+    def test_correlated_extremes(self):
+        frozen = correlated_words(random.Random(2), 8, 50, 0.0)
+        assert len(set(frozen)) == 1  # never flips
+        with pytest.raises(ValueError):
+            correlated_words(random.Random(2), 8, 5, 1.5)
+
+    def test_walking_ones(self):
+        assert walking_ones(4) == [1, 2, 4, 8]
+
+    def test_gray_sequence_single_bit_flips(self):
+        seq = gray_sequence(4)
+        assert len(seq) == 16
+        for a, b in zip(seq, seq[1:]):
+            assert bin(a ^ b).count("1") == 1
+        assert len(set(seq)) == 16
+
+
+class TestWordStimulus:
+    @pytest.fixture
+    def stim(self):
+        c = Circuit("t")
+        a = c.add_input_word("a", 4)
+        b = c.add_input_word("b", 3)
+        return WordStimulus({"a": a, "b": b}), a, b
+
+    def test_vector_maps_bits(self, stim):
+        s, a, b = stim
+        vec = s.vector(a=0b1010, b=0b011)
+        assert [vec[n] for n in a] == [0, 1, 0, 1]
+        assert [vec[n] for n in b] == [1, 1, 0]
+
+    def test_vector_unknown_word(self, stim):
+        s, _, _ = stim
+        with pytest.raises(ValueError, match="unknown words"):
+            s.vector(c=1)
+
+    def test_vector_out_of_range(self, stim):
+        s, _, _ = stim
+        with pytest.raises(ValueError, match="out of range"):
+            s.vector(a=16)
+
+    def test_random_covers_all_words(self, stim):
+        s, a, b = stim
+        vectors = list(s.random(random.Random(0), 10))
+        assert len(vectors) == 10
+        for vec in vectors:
+            assert set(vec) == set(a) | set(b)
+
+    def test_correlated_stream_length(self, stim):
+        s, _, _ = stim
+        assert len(list(s.correlated(random.Random(0), 7))) == 7
+
+    def test_exhaustive_enumerates_everything(self, stim):
+        s, a, b = stim
+        seen = set()
+        for vec in s.exhaustive():
+            av = sum(vec[n] << i for i, n in enumerate(a))
+            bv = sum(vec[n] << i for i, n in enumerate(b))
+            seen.add((av, bv))
+        assert len(seen) == 16 * 8
+
+    def test_exhaustive_size_guard(self):
+        c = Circuit("t")
+        w = c.add_input_word("w", 30)
+        s = WordStimulus({"w": w})
+        with pytest.raises(ValueError, match="too large"):
+            list(s.exhaustive())
+
+    def test_empty_words_rejected(self):
+        with pytest.raises(ValueError):
+            WordStimulus({})
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**20))
+def test_random_words_determinism_property(width, seed):
+    """Same seed -> same stream (reproducible experiments)."""
+    a = random_words(random.Random(seed), width, 20)
+    b = random_words(random.Random(seed), width, 20)
+    assert a == b

@@ -1,0 +1,125 @@
+"""Tests for the synthetic-video substrate and scan conversion."""
+
+import random
+
+import pytest
+
+from repro.video.frames import add_noise, diagonal_edge_field, moving_sequence
+from repro.video.scan import deinterlace_frame, detector_sites, site_vectors
+from repro.circuits.direction_detector import build_direction_detector
+
+
+class TestFrames:
+    def test_field_dimensions_and_range(self):
+        field = diagonal_edge_field(16, 8)
+        assert len(field) == 8
+        assert all(len(row) == 16 for row in field)
+        assert all(0 <= p <= 255 for row in field for p in row)
+
+    def test_edge_present(self):
+        """Each row must contain a strong dark-to-bright step."""
+        field = diagonal_edge_field(32, 8, slope=1.0, offset=4)
+        for row in field[:4]:
+            jumps = [abs(a - b) for a, b in zip(row, row[1:])]
+            assert max(jumps) > 100
+
+    def test_edge_moves_with_slope(self):
+        field = diagonal_edge_field(32, 16, slope=1.0, offset=0)
+
+        def edge_position(row):
+            jumps = [abs(a - b) for a, b in zip(row, row[1:])]
+            return jumps.index(max(jumps))
+
+        assert edge_position(field[12]) > edge_position(field[2])
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            diagonal_edge_field(2, 8)
+        with pytest.raises(ValueError):
+            diagonal_edge_field(8, 1)
+
+    def test_noise_bounded(self):
+        rng = random.Random(0)
+        field = diagonal_edge_field(16, 4)
+        noisy = add_noise(field, rng, amplitude=5)
+        for row, nrow in zip(field, noisy):
+            for p, q in zip(row, nrow):
+                assert abs(p - q) <= 5
+                assert 0 <= q <= 255
+
+    def test_noise_amplitude_guard(self):
+        with pytest.raises(ValueError):
+            add_noise([[0]], random.Random(0), amplitude=-1)
+
+    def test_moving_sequence(self):
+        fields = moving_sequence(16, 6, 4, velocity=3, noise=0)
+        assert len(fields) == 4
+        assert fields[0] != fields[1]  # the edge moved
+
+    def test_sequence_needs_fields(self):
+        with pytest.raises(ValueError):
+            moving_sequence(16, 6, 0)
+
+
+class TestScan:
+    def test_site_enumeration(self):
+        field = diagonal_edge_field(10, 5)
+        sites = list(detector_sites(field))
+        assert len(sites) == (5 - 1) * 10
+        y, x, above, below = sites[0]
+        assert (y, x) == (0, 0)
+        assert len(above) == len(below) == 3
+        # Border columns replicate the edge pixel.
+        assert above[0] == above[1]
+
+    def test_site_windows_match_field(self):
+        field = diagonal_edge_field(8, 3)
+        for y, x, above, below in detector_sites(field):
+            assert above[1] == field[y][x]
+            assert below[1] == field[y + 1][x]
+
+    def test_short_field_rejected(self):
+        with pytest.raises(ValueError):
+            list(detector_sites([[1, 2, 3]]))
+
+    def test_site_vectors_feed_simulator(self):
+        field = diagonal_edge_field(6, 3)
+        _, ports = build_direction_detector()
+        vectors = list(site_vectors(field, ports))
+        assert len(vectors) == 2 * 6
+        needed = {n for w in ports.a + ports.b for n in w}
+        for vec in vectors:
+            assert set(vec) == needed
+
+
+class TestDeinterlace:
+    def test_frame_structure(self):
+        field = diagonal_edge_field(12, 5)
+        frame, activity, hist = deinterlace_frame(field)
+        assert len(frame) == 2 * 5 - 1  # lines interleaved
+        assert all(len(row) == 12 for row in frame)
+        assert sum(hist.values()) == (5 - 1) * 12
+        assert activity.cycles == (5 - 1) * 12
+
+    def test_interpolated_pixels_in_range(self):
+        field = diagonal_edge_field(10, 4)
+        frame, _, _ = deinterlace_frame(field)
+        assert all(0 <= p <= 255 for row in frame for p in row)
+
+    def test_flat_field_interpolates_flat(self):
+        field = [[100] * 8 for _ in range(4)]
+        frame, _, hist = deinterlace_frame(field)
+        assert all(p == 100 for row in frame for p in row)
+        # No spread anywhere -> always the default (vertical) direction.
+        assert hist[1] == sum(hist.values())
+
+    def test_vertical_interpolation_average(self):
+        field = [[50] * 6, [150] * 6]
+        frame, _, _ = deinterlace_frame(field)
+        assert frame[1] == [100] * 6
+
+    def test_activity_is_glitch_dominated(self):
+        """Even on real-structured input the detector glitches heavily."""
+        field = diagonal_edge_field(16, 6, slope=1.0)
+        _, activity, _ = deinterlace_frame(field)
+        assert activity.useless_useful_ratio() > 1.5
