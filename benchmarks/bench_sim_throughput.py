@@ -1,23 +1,37 @@
-"""Infrastructure benchmark — raw event-driven simulation throughput.
+"""Infrastructure benchmark — raw simulation throughput per backend.
 
-Not a paper artefact: this one actually uses pytest-benchmark's
-statistics (multiple rounds) to track the simulator's speed on the
-16x16 array multiplier, the heaviest netlist in the reproduction.
-Useful for catching performance regressions in the hot loop.
+Not a paper artefact: these actually use pytest-benchmark's statistics
+(multiple rounds) to track simulator speed on the array multipliers,
+the heaviest netlists in the reproduction.
+
+* ``test_sim_throughput_array16`` is the historical series (event-driven
+  engine, 16x16, 20 cycles) — its trajectory shows the effect of the
+  compiled-IR / timing-wheel work on the hot loop.
+* ``test_sim_throughput_backends`` parametrizes the same workload over
+  the pluggable backends (event-driven vs bit-parallel) and adds a
+  32x32 case, so backend wins are tracked per size.
 """
 
 import random
 
+import pytest
+
 from repro.circuits.multipliers import build_multiplier_circuit
+from repro.core.activity import ActivityRun
 from repro.sim.engine import Simulator
 from repro.sim.vectors import WordStimulus
 
 
-def test_sim_throughput_array16(benchmark):
-    circuit, ports = build_multiplier_circuit(16, "array")
+def _workload(n_bits: int, n_cycles: int):
+    circuit, ports = build_multiplier_circuit(n_bits, "array")
     stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
     rng = random.Random(42)
-    vectors = [dict(v) for v in stim.random(rng, 21)]
+    vectors = [dict(v) for v in stim.random(rng, n_cycles + 1)]
+    return circuit, vectors
+
+
+def test_sim_throughput_array16(benchmark):
+    circuit, vectors = _workload(16, 20)
 
     def run_20_cycles():
         sim = Simulator(circuit)
@@ -28,4 +42,17 @@ def test_sim_throughput_array16(benchmark):
         return total
 
     total = benchmark(run_20_cycles)
+    assert total > 0
+
+
+@pytest.mark.parametrize("n_bits,n_cycles", [(16, 20), (32, 10)])
+@pytest.mark.parametrize("backend", ["event", "bitparallel"])
+def test_sim_throughput_backends(benchmark, n_bits, n_cycles, backend):
+    circuit, vectors = _workload(n_bits, n_cycles)
+    run = ActivityRun(circuit, backend=backend)
+
+    def simulate():
+        return run.run(iter(vectors)).total_transitions
+
+    total = benchmark.pedantic(simulate, rounds=3, iterations=1)
     assert total > 0

@@ -23,6 +23,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.core import (
     ActivityResult,
+    ActivityRun,
     NodeActivity,
     PowerBreakdown,
     analyze,
@@ -36,13 +37,15 @@ from repro.core import (
     worst_case_transitions,
     worst_case_vectors,
 )
-from repro.netlist import Circuit, CellKind, validate
+from repro.netlist import Circuit, CellKind, compile_circuit, validate
 from repro.sim import (
     Simulator,
     UnitDelay,
     SumCarryDelay,
     PerKindDelay,
     WordStimulus,
+    EventDrivenBackend,
+    BitParallelBackend,
     dump_vcd,
 )
 from repro.circuits import (
@@ -58,6 +61,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ActivityResult",
+    "ActivityRun",
     "NodeActivity",
     "PowerBreakdown",
     "analyze",
@@ -72,8 +76,11 @@ __all__ = [
     "worst_case_vectors",
     "Circuit",
     "CellKind",
+    "compile_circuit",
     "validate",
     "Simulator",
+    "EventDrivenBackend",
+    "BitParallelBackend",
     "UnitDelay",
     "SumCarryDelay",
     "PerKindDelay",

@@ -3,6 +3,9 @@
 Exposes the library's analyses without writing Python::
 
     python -m repro.cli analyze --circuit array8 --vectors 500
+    python -m repro.cli analyze --circuit array16 --vectors 2000 \
+        --shards 8 --jobs 4          # sharded, exactly merged
+    python -m repro.cli analyze --circuit rca16 --backend bitparallel
     python -m repro.cli experiment table1
     python -m repro.cli export --circuit detector --format dot
     python -m repro.cli balance --circuit rca16 --vectors 300
@@ -21,7 +24,7 @@ from typing import List, Sequence, Tuple
 from repro.circuits.adders import build_rca_circuit
 from repro.circuits.direction_detector import build_direction_detector
 from repro.circuits.multipliers import build_multiplier_circuit
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.core.report import format_table
 from repro.netlist.circuit import Circuit
 from repro.netlist.io import circuit_to_dot, circuit_to_json
@@ -70,12 +73,26 @@ def _delay_model(spec: str) -> DelayModel:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     circuit, stim = build_named_circuit(args.circuit)
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     rng = random.Random(args.seed)
-    result = analyze(
-        circuit,
-        stim.random(rng, args.vectors + 1),
-        delay_model=_delay_model(args.delay),
-    )
+    if args.backend == "event":
+        delay = _delay_model(args.delay or "unit")
+    elif args.delay is not None:
+        raise SystemExit(
+            f"--delay {args.delay} has no effect on the zero-delay "
+            f"{args.backend!r} backend; drop it or use --backend event"
+        )
+    else:
+        delay = None
+    run = ActivityRun(circuit, delay_model=delay, backend=args.backend)
+    vectors = stim.random(rng, args.vectors + 1)
+    if args.shards > 1:
+        result = run.run_sharded(
+            vectors, shards=args.shards, processes=args.jobs
+        )
+    else:
+        result = run.run(vectors)
     summary = result.summary()
     print(
         format_table(
@@ -177,7 +194,22 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--circuit", required=True)
     p.add_argument("--vectors", type=int, default=500)
     p.add_argument("--seed", type=int, default=1995)
-    p.add_argument("--delay", default="unit", choices=["unit", "sumcarry"])
+    p.add_argument(
+        "--delay", default=None, choices=["unit", "sumcarry"],
+        help="event-backend delay model (default: unit)",
+    )
+    p.add_argument(
+        "--backend", default="event", choices=["event", "bitparallel"],
+        help="simulation backend (bitparallel counts useful activity only)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="split the vector stream into N exactly-merged shards",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sharded runs (default: in-process)",
+    )
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

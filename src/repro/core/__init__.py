@@ -14,7 +14,12 @@ from repro.core.transitions import (
     glitch_count,
     NodeActivity,
 )
-from repro.core.activity import ActivityResult, analyze, accumulate_traces
+from repro.core.activity import (
+    ActivityResult,
+    ActivityRun,
+    analyze,
+    accumulate_traces,
+)
 from repro.core.analytical import (
     transition_ratio_sum,
     transition_ratio_carry,
@@ -40,6 +45,7 @@ __all__ = [
     "glitch_count",
     "NodeActivity",
     "ActivityResult",
+    "ActivityRun",
     "analyze",
     "accumulate_traces",
     "transition_ratio_sum",

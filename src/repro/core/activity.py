@@ -1,19 +1,49 @@
-"""Circuit-level transition-activity accounting.
+"""Circuit-level transition-activity accounting: the session API.
 
-:func:`analyze` is the main entry point: it simulates a circuit over a
-vector stream and returns an :class:`ActivityResult` with per-node and
-aggregate useful/useless/glitch statistics — the quantities behind the
-paper's Tables 1 and 2, Figure 5, and the Section 4.2 direction
-detector numbers.
+:class:`ActivityRun` is the single entry point every consumer (the
+seven experiment drivers, the CLI, the benchmarks) routes through.  A
+session binds one circuit to one delay model and one simulation
+backend (:mod:`repro.sim.backends`) and offers:
+
+* :meth:`ActivityRun.run` — simulate a vector stream and classify
+  every transition, returning an :class:`ActivityResult` with per-node
+  and aggregate useful/useless/glitch statistics — the quantities
+  behind the paper's Tables 1 and 2, Figure 5, and the Section 4.2
+  direction detector numbers;
+* :meth:`ActivityRun.run_sharded` — the same result, computed by
+  splitting the vector stream into contiguous shards (optionally
+  across ``multiprocessing`` workers).  Shard boundary states are
+  fast-forwarded with the zero-delay bit-parallel backend — exact,
+  because settled event-driven values provably equal zero-delay
+  evaluation — and shard results are combined with
+  :meth:`ActivityResult.merge`, so the merged result is bit-identical
+  to an unsharded run;
+* :meth:`ActivityRun.step_traces` — raw per-cycle traces for callers
+  that need single-cycle detail (worst-case stimuli, VCD dumps);
+* :meth:`ActivityRun.ff_activity` — mean flipflop D-input toggle
+  probability, measured with the bit-parallel backend (settled values
+  only, which is exactly what D pins sample).
+
+:func:`analyze` remains as the one-call convenience wrapper.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
+from repro.sim.backends import (
+    BACKENDS,
+    BitParallelBackend,
+    RunStats,
+    _resolve_vector,
+    canonical_backend,
+    get_backend,
+)
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 from repro.sim.engine import CycleTrace, Simulator
 
@@ -100,9 +130,20 @@ class ActivityResult:
         return [self.node(n) for n in word]
 
     def merge(self, other: "ActivityResult") -> None:
-        """Accumulate a second (sharded) run into this result."""
+        """Accumulate a second (sharded) run into this result.
+
+        Both results must come from the same circuit *and* the same
+        delay regime — merging, say, unit-delay counts into
+        ``dsum=2*dcarry`` counts would silently mix incomparable
+        classifications.
+        """
         if other.circuit_name != self.circuit_name:
             raise ValueError("cannot merge results from different circuits")
+        if other.delay_description != self.delay_description:
+            raise ValueError(
+                "cannot merge results from different delay models: "
+                f"{self.delay_description!r} vs {other.delay_description!r}"
+            )
         self.cycles += other.cycles
         for n, act in other.per_node.items():
             mine = self.per_node.get(n)
@@ -145,6 +186,261 @@ def accumulate_traces(
     return result
 
 
+def _stats_to_result(
+    stats: RunStats,
+    circuit_name: str,
+    delay_description: str,
+    node_names: Dict[int, str] | None = None,
+) -> ActivityResult:
+    """Wrap backend :class:`RunStats` into an :class:`ActivityResult`."""
+    return ActivityResult(
+        circuit_name=circuit_name,
+        delay_description=delay_description,
+        cycles=stats.cycles,
+        per_node=stats.per_node,
+        node_names=node_names or {},
+    )
+
+
+def _run_shard(job) -> ActivityResult:
+    """Run one event-driven shard (module-level for multiprocessing)."""
+    (
+        circuit, delay_model, backend_name, monitor, vectors,
+        warmup, initial_values, initial_ff_state, delay_description,
+    ) = job
+    backend = get_backend(backend_name, circuit, delay_model, monitor)
+    stats = backend.run(
+        vectors,
+        warmup=warmup,
+        initial_values=initial_values,
+        initial_ff_state=initial_ff_state,
+    )
+    return _stats_to_result(stats, circuit.name, delay_description)
+
+
+class ActivityRun:
+    """A reusable activity-analysis session for one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to analyse.
+    delay_model:
+        Intra-cycle delay regime (default
+        :class:`~repro.sim.delays.UnitDelay`).  Zero-delay models are
+        rejected on the event-driven backend: without intra-cycle time
+        resolution no glitch can be observed, so the classification
+        would be vacuously "all useful" and silently wrong.
+    backend:
+        ``"event"`` (exact, glitch-aware — the default) or
+        ``"bitparallel"`` (zero-delay batch engine: fast, counts only
+        settled-value i.e. useful activity).
+    monitor:
+        Optional net indices to restrict accounting to; defaults to all
+        cell-driven nets.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_model: DelayModel | None = None,
+        backend: str = "event",
+        monitor: Iterable[int] | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.backend_name = canonical_backend(backend)
+        self.monitor = None if monitor is None else list(monitor)
+        if not BACKENDS[self.backend_name].exact_glitches:
+            if delay_model is not None and not isinstance(
+                delay_model, ZeroDelay
+            ):
+                raise ValueError(
+                    f"the {self.backend_name!r} backend is inherently "
+                    "zero-delay and would silently ignore "
+                    f"{delay_model.describe()!r}; pass delay_model=None "
+                    "or use the event-driven backend"
+                )
+            self.delay_model = None
+            self.delay_description = f"zero delay ({self.backend_name})"
+        else:
+            delay_model = delay_model or UnitDelay()
+            if isinstance(delay_model, ZeroDelay):
+                raise ValueError(
+                    "activity analysis requires a delay model with >= 1 "
+                    "delta per cell; ZeroDelay hides all glitches"
+                )
+            self.delay_model = delay_model
+            self.delay_description = delay_model.describe()
+
+    # ------------------------------------------------------------------
+    def _make_backend(self, monitor: Iterable[int] | None = None):
+        return get_backend(
+            self.backend_name,
+            self.circuit,
+            self.delay_model,
+            self.monitor if monitor is None else monitor,
+        )
+
+    def _result_shell(self) -> ActivityResult:
+        return ActivityResult(
+            circuit_name=self.circuit.name,
+            delay_description=self.delay_description,
+            node_names={n.index: n.name for n in self.circuit.nets},
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+    ) -> ActivityResult:
+        """Simulate *vectors* and classify every transition.
+
+        The first vector is consumed as warm-up when *warmup* is
+        ``None``, so every counted cycle has a well-defined previous
+        computation.
+        """
+        stats = self._make_backend().run(vectors, warmup=warmup)
+        return _stats_to_result(
+            stats,
+            self.circuit.name,
+            self.delay_description,
+            node_names={n.index: n.name for n in self.circuit.nets},
+        )
+
+    def run_sharded(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        shards: int,
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+        processes: int | None = None,
+    ) -> ActivityResult:
+        """Shard the vector stream and merge per-shard results.
+
+        The stream is materialised, split into *shards* contiguous
+        slices, and each slice is simulated independently from its
+        exact boundary state (settled net values + flipflop state,
+        fast-forwarded with the zero-delay bit-parallel backend).  The
+        merged result is bit-identical to :meth:`run` on the same
+        stream.  With *processes* > 1 the shards run in a
+        ``multiprocessing`` pool; otherwise they run sequentially
+        in-process (still exercising the merge path).
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        cc_inputs = tuple(self.circuit.inputs)
+        input_set = frozenset(cc_inputs)
+        cur = [0] * len(cc_inputs)
+        resolved = []
+        it = iter(vectors)
+        if warmup is None:
+            first = next(it, None)
+            if first is None:
+                return self._result_shell()
+            warmup = first
+        warmup = _resolve_vector(warmup, cc_inputs, input_set, cur)
+        for vec in it:
+            resolved.append(_resolve_vector(vec, cc_inputs, input_set, cur))
+
+        n = len(resolved)
+        shards = max(1, min(shards, n)) if n else 1
+        base, extra = divmod(n, shards)
+        slices: List[List[List[int]]] = []
+        start = 0
+        for s in range(shards):
+            size = base + (1 if s < extra else 0)
+            slices.append(resolved[start:start + size])
+            start += size
+
+        # Fast-forward exact boundary states with the zero-delay engine
+        # (settled event-driven values equal zero-delay evaluation).
+        ff = BitParallelBackend(self.circuit, monitor=())
+        jobs = []
+        values: List[int] | None = None
+        state: Dict[int, int] | None = None
+        for s, seg in enumerate(slices):
+            jobs.append((
+                self.circuit, self.delay_model, self.backend_name,
+                self.monitor, seg,
+                warmup if s == 0 else None,
+                values, dict(state) if state is not None else None,
+                self.delay_description,
+            ))
+            if s < shards - 1:
+                stats = ff.run(
+                    seg,
+                    warmup=warmup if s == 0 else None,
+                    initial_values=values,
+                    initial_ff_state=state,
+                )
+                values = stats.final_values
+                state = stats.final_ff_state
+
+        if processes and processes > 1 and shards > 1:
+            with multiprocessing.Pool(min(processes, shards)) as pool:
+                shard_results = pool.map(_run_shard, jobs)
+        else:
+            shard_results = [_run_shard(job) for job in jobs]
+
+        result = self._result_shell()
+        for sub in shard_results:
+            result.merge(sub)
+        return result
+
+    # ------------------------------------------------------------------
+    def step_traces(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+    ) -> List[CycleTrace]:
+        """Raw per-cycle traces (event-driven backend only).
+
+        For callers that need single-cycle detail — worst-case stimuli,
+        VCD export — rather than aggregated statistics.
+        """
+        if self.delay_model is None:
+            raise ValueError(
+                "per-cycle traces require the event-driven backend"
+            )
+        sim = Simulator(
+            self.circuit, self.delay_model, monitor=self.monitor
+        )
+        return sim.run(vectors, warmup=warmup)
+
+    def ff_activity(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+    ) -> Dict[str, float]:
+        """Mean flipflop D-input toggle probability per cycle.
+
+        Measured with the bit-parallel backend regardless of the
+        session backend: D pins sample *settled* values, which the
+        zero-delay engine reproduces exactly.  Validates the paper's
+        footnote-1 assumption that flipflop inputs change ~50% of the
+        time.
+        """
+        ff_d = [c.inputs[0] for c in self.circuit.flipflops]
+        if not ff_d:
+            return {"flipflops": 0, "cycles": 0, "mean_d_activity": 0.0}
+        bp = BitParallelBackend(self.circuit, monitor=set(ff_d))
+        stats = bp.run(vectors, warmup=warmup)
+        # A net feeding several D pins counts once per pin, as a
+        # per-flipflop mean should.
+        multiplicity = Counter(ff_d)
+        changes = sum(
+            stats.per_node[n].toggles * m
+            for n, m in multiplicity.items()
+            if n in stats.per_node
+        )
+        total = len(ff_d) * stats.cycles
+        return {
+            "flipflops": len(ff_d),
+            "cycles": stats.cycles,
+            "mean_d_activity": changes / total if total else 0.0,
+        }
+
+
 def analyze(
     circuit: Circuit,
     vectors: Iterable[Sequence[int] | Mapping[int, int]],
@@ -154,23 +450,10 @@ def analyze(
 ) -> ActivityResult:
     """Simulate *circuit* over *vectors* and classify every transition.
 
-    Parameters mirror :class:`~repro.sim.engine.Simulator`; the first
-    vector is consumed as warm-up when *warmup* is ``None``.  Zero-delay
-    models are rejected: without intra-cycle time resolution no glitch
-    can be observed, so the classification would be vacuously "all
-    useful" and silently wrong.
+    One-call convenience wrapper over :class:`ActivityRun` with the
+    exact, event-driven backend; parameters mirror
+    :class:`~repro.sim.engine.Simulator`.
     """
-    delay_model = delay_model or UnitDelay()
-    if isinstance(delay_model, ZeroDelay):
-        raise ValueError(
-            "activity analysis requires a delay model with >= 1 delta "
-            "per cell; ZeroDelay hides all glitches"
-        )
-    sim = Simulator(circuit, delay_model, monitor=monitor)
-    result = ActivityResult(
-        circuit_name=circuit.name,
-        delay_description=delay_model.describe(),
-        node_names={n.index: n.name for n in circuit.nets},
-    )
-    traces = sim.run(vectors, warmup=warmup)
-    return accumulate_traces(result, traces)
+    return ActivityRun(
+        circuit, delay_model=delay_model, monitor=monitor
+    ).run(vectors, warmup=warmup)

@@ -20,7 +20,7 @@ from repro.circuits.adders import (
     kogge_stone_adder,
     ripple_carry_adder,
 )
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.core.report import format_table
 from repro.netlist.circuit import Circuit
 from repro.sim.vectors import WordStimulus
@@ -64,7 +64,7 @@ def adder_architecture_experiment(
         circuit, ports = _build(architecture, n_bits)
         stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
         rng = random.Random(seed)
-        result = analyze(circuit, stim.random(rng, n_vectors + 1))
+        result = ActivityRun(circuit).run(stim.random(rng, n_vectors + 1))
         summary = result.summary()
         rows.append(
             {

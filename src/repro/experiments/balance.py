@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List
 
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.core.power import estimate_power
 from repro.core.report import format_table
 from repro.netlist.circuit import Circuit
@@ -41,7 +41,7 @@ def _measure(
     tech: TechnologyLibrary,
     area_model: AreaModel,
 ) -> Dict[str, Any]:
-    activity = analyze(circuit, iter(vectors))
+    activity = ActivityRun(circuit).run(iter(vectors))
     power = estimate_power(circuit, activity, frequency, tech)
     mw = power.as_milliwatts()
     return {

@@ -13,7 +13,7 @@ import random
 from typing import Any, Dict
 
 from repro.circuits.direction_detector import build_direction_detector
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.sim.delays import DelayModel, UnitDelay
 from repro.sim.vectors import WordStimulus
 
@@ -45,11 +45,8 @@ def section42_experiment(
     circuit, ports = build_direction_detector(width=width, threshold=threshold)
     stim = detector_stimulus(ports)
     rng = random.Random(seed)
-    result = analyze(
-        circuit,
-        stim.random(rng, n_vectors + 1),
-        delay_model=delay_model or UnitDelay(),
-    )
+    run = ActivityRun(circuit, delay_model=delay_model or UnitDelay())
+    result = run.run(stim.random(rng, n_vectors + 1))
     summary = result.summary()
     return {
         "n_vectors": n_vectors,

@@ -20,7 +20,7 @@ import random
 from typing import Any, Dict, List
 
 from repro.circuits.multipliers import build_multiplier_circuit
-from repro.core.activity import ActivityResult, analyze
+from repro.core.activity import ActivityResult, ActivityRun
 from repro.core.report import format_table
 from repro.sim.delays import DelayModel, SumCarryDelay, UnitDelay
 from repro.sim.vectors import WordStimulus
@@ -41,7 +41,7 @@ def _run_multiplier(
         vectors = stim.random(rng, n_vectors + 1)
     else:
         vectors = stim.correlated(rng, n_vectors + 1, flip_probability=correlation)
-    return analyze(circuit, vectors, delay_model=delay_model)
+    return ActivityRun(circuit, delay_model=delay_model).run(vectors)
 
 
 def table1_experiment(

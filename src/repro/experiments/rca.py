@@ -18,7 +18,7 @@ import random
 from typing import Any, Dict
 
 from repro.circuits.adders import build_rca_circuit
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.core.analytical import (
     rca_expected_counts,
     rca_per_bit_table,
@@ -27,7 +27,6 @@ from repro.core.analytical import (
     worst_case_vectors,
 )
 from repro.core.report import format_table
-from repro.sim.engine import Simulator
 from repro.sim.vectors import WordStimulus
 
 
@@ -46,7 +45,8 @@ def figure5_experiment(
     stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
     rng = random.Random(seed)
     monitor = ports["sums"] + ports["carries"]
-    result = analyze(circuit, stim.random(rng, n_vectors + 1), monitor=monitor)
+    run = ActivityRun(circuit, monitor=monitor)
+    result = run.run(stim.random(rng, n_vectors + 1))
 
     analytic = rca_expected_counts(n_bits, n_vectors)
     expected_bits = rca_per_bit_table(n_bits, n_vectors)
@@ -118,9 +118,11 @@ def worst_case_experiment(n_bits: int = 8) -> Dict[str, Any]:
     circuit, ports = build_rca_circuit(n_bits, with_cin=False)
     prev_a, prev_b, new_a, new_b = worst_case_vectors(n_bits)
     stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
-    sim = Simulator(circuit)
-    sim.settle(stim.vector(a=prev_a, b=prev_b))
-    trace = sim.step(stim.vector(a=new_a, b=new_b))
+    run = ActivityRun(circuit)
+    (trace,) = run.step_traces(
+        [stim.vector(a=new_a, b=new_b)],
+        warmup=stim.vector(a=prev_a, b=prev_b),
+    )
     top_sum = ports["sums"][n_bits - 1]
     top_carry = ports["carries"][n_bits - 1]
     return {

@@ -20,13 +20,12 @@ import random
 from typing import Any, Dict, List, Sequence
 
 from repro.circuits.direction_detector import build_direction_detector
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.core.power import estimate_power
 from repro.core.report import format_table
 from repro.experiments.detector import detector_stimulus
 from repro.retime.pipeline import pipeline_circuit
 from repro.sim.delays import DelayModel, UnitDelay
-from repro.sim.engine import Simulator
 from repro.tech.area import AreaModel
 from repro.tech.clock import ClockTreeModel
 from repro.tech.library import TechnologyLibrary
@@ -70,11 +69,9 @@ def table3_experiment(
             name=f"detector_c{k + 1}",
         )
         rng = random.Random(seed)
-        activity = analyze(
-            pipelined.circuit,
-            stim.random(rng, n_vectors + 1),
-            delay_model=delay_model,
-        )
+        activity = ActivityRun(
+            pipelined.circuit, delay_model=delay_model
+        ).run(stim.random(rng, n_vectors + 1))
         breakdown = estimate_power(
             pipelined.circuit, activity, frequency, tech, clock_model
         )
@@ -159,26 +156,15 @@ def ff_activity_experiment(
     for extra in stages:
         pipelined = pipeline_circuit(base, extra)
         circuit = pipelined.circuit
-        sim = Simulator(circuit)
         rng = random.Random(seed)
-        vectors = list(stim.random(rng, n_vectors + 1))
-        sim.settle(vectors[0])
-        ff_d_nets = [c.inputs[0] for c in circuit.flipflops]
-        changes = 0
-        prev = [sim.values[n] for n in ff_d_nets]
-        for vec in vectors[1:]:
-            sim.step(vec)
-            cur = [sim.values[n] for n in ff_d_nets]
-            changes += sum(1 for p, q in zip(prev, cur) if p != q)
-            prev = cur
-        mean_activity = (
-            changes / (len(ff_d_nets) * n_vectors) if ff_d_nets else 0.0
+        ff = ActivityRun(circuit).ff_activity(
+            stim.random(rng, n_vectors + 1)
         )
         rows.append(
             {
                 "extra_stages": extra,
-                "flipflops": len(ff_d_nets),
-                "mean_d_activity": round(mean_activity, 4),
+                "flipflops": ff["flipflops"],
+                "mean_d_activity": round(ff["mean_d_activity"], 4),
             }
         )
     return {"rows": rows, "assumed": 0.5}

@@ -15,7 +15,7 @@ import random
 from typing import Any, Dict
 
 from repro.circuits.direction_detector import build_direction_detector
-from repro.core.activity import analyze
+from repro.core.activity import ActivityRun
 from repro.experiments.detector import detector_stimulus
 from repro.video.frames import moving_sequence
 from repro.video.scan import site_vectors
@@ -43,13 +43,12 @@ def video_vs_random_experiment(
     video_vectors = []
     for field in fields:
         video_vectors.extend(site_vectors(field, ports))
-    video_result = analyze(circuit, iter(video_vectors))
+    video_result = ActivityRun(circuit).run(iter(video_vectors))
 
     circuit2, ports2 = build_direction_detector(width=8, threshold=threshold)
     stim = detector_stimulus(ports2)
-    random_result = analyze(
-        circuit2,
-        stim.random(random.Random(seed), len(video_vectors)),
+    random_result = ActivityRun(circuit2).run(
+        stim.random(random.Random(seed), len(video_vectors))
     )
 
     return {

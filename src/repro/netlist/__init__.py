@@ -16,6 +16,7 @@ from repro.netlist.cells import (
     evaluate_kind,
 )
 from repro.netlist.circuit import Circuit, Net
+from repro.netlist.compiled import CompiledCircuit, compile_circuit
 from repro.netlist.validate import ValidationIssue, ValidationError, validate
 from repro.netlist.io import circuit_to_json, circuit_from_json, circuit_to_dot
 
@@ -23,6 +24,8 @@ __all__ = [
     "CellKind",
     "Cell",
     "Circuit",
+    "CompiledCircuit",
+    "compile_circuit",
     "Net",
     "COMBINATIONAL_KINDS",
     "SEQUENTIAL_KINDS",

@@ -70,6 +70,17 @@ class Circuit:
         self.outputs: List[int] = []
         self._anon_net = 0
         self._anon_cell = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural change.
+
+        Consumers that cache derived structure (notably the compiled IR
+        in :mod:`repro.netlist.compiled`) compare this to detect
+        staleness instead of hashing the whole netlist.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -87,6 +98,7 @@ class Circuit:
         net = Net(name=name, index=len(self.nets))
         self.nets.append(net)
         self._net_by_name[name] = net.index
+        self._version += 1
         return net.index
 
     def new_net_word(self, name: str, width: int) -> List[int]:
@@ -110,6 +122,7 @@ class Circuit:
         if alias is not None and alias not in self._net_by_name:
             self._net_by_name[alias] = net
         self.outputs.append(net)
+        self._version += 1
         return net
 
     def mark_output_word(self, nets: Sequence[int], name: str | None = None) -> None:
@@ -165,6 +178,7 @@ class Circuit:
             self.nets[inp].fanout.append(cell.index)
         self.cells.append(cell)
         self._cell_by_name[name] = cell.index
+        self._version += 1
         return cell
 
     # convenience single-output gate constructors -----------------------
@@ -317,29 +331,21 @@ class Circuit:
         This is the golden reference the event-driven simulator is
         checked against: after any cycle the settled simulator values
         must equal this function's result.
+
+        Evaluation runs on the memoized compiled IR
+        (:func:`repro.netlist.compiled.compile_circuit`), so repeated
+        calls do not re-run the topological sort.
         """
-        if len(input_values) != len(self.inputs):
-            raise ValueError(
-                f"expected {len(self.inputs)} input values, "
-                f"got {len(input_values)}"
-            )
-        state = state or {}
-        values: dict[int, int] = {}
-        for net, v in zip(self.inputs, input_values):
-            values[net] = int(bool(v))
-        for c in self.cells:
-            if c.is_sequential:
-                values[c.outputs[0]] = state.get(c.index, 0)
-        for cell in self.topological_cells():
-            ins = [values.get(n, 0) for n in cell.inputs]
-            outs = cell.evaluate(ins)
-            for out_net, v in zip(cell.outputs, outs):
-                values[out_net] = v
-        next_state = {
-            c.index: values.get(c.inputs[0], 0)
-            for c in self.cells
-            if c.is_sequential
-        }
+        from repro.netlist.compiled import compile_circuit
+
+        compiled = compile_circuit(self)
+        flat, next_state = compiled.evaluate_flat(input_values, state)
+        values: dict[int, int] = {net: flat[net] for net in self.inputs}
+        for i, ci in enumerate(compiled.ff_cells):
+            values[compiled.ff_q[i]] = flat[compiled.ff_q[i]]
+        for ci in compiled.topo:
+            for out_net in compiled.cell_outputs[ci]:
+                values[out_net] = flat[out_net]
         return values, next_state
 
     # ------------------------------------------------------------------

@@ -1,0 +1,200 @@
+"""Compiled circuit IR: flat, cache-friendly arrays built once per netlist.
+
+A :class:`Circuit` is convenient to build and query but expensive to
+simulate directly: every :meth:`Circuit.evaluate` re-runs a topological
+sort, and every simulator instance used to re-resolve cells, delays and
+fanout into private lists.  :func:`compile_circuit` performs that
+flattening exactly once per ``(Circuit, DelayModel)`` pair and memoizes
+the result, so constructing simulators and evaluating circuits becomes
+O(nets) instead of O(cells·outputs) with repeated delay-model calls.
+
+The :class:`CompiledCircuit` holds:
+
+* per-cell flat tuples — input nets, output nets, kind, evaluator,
+  sequential flag;
+* ``out_specs`` — per combinational cell, ``((out_net, delay), ...)``
+  pairs pre-resolved through the delay model (``None`` when compiled
+  without one, e.g. for purely functional evaluation);
+* ``comb_fanout`` — per net, the combinational cells reading it (the
+  event-driven hot loop never needs sequential readers);
+* a cached topological order of the combinational cells;
+* the flipflop wiring (cell, D net, Q net) as parallel tuples.
+
+Memoization is keyed on the circuit object (weakly, so compiled forms
+die with their circuits) plus :meth:`DelayModel.cache_token`, and
+invalidated by :attr:`Circuit.version`, which every netlist mutation
+bumps.  All simulation backends (:mod:`repro.sim.backends`) and
+:meth:`Circuit.evaluate` share this cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.netlist.cells import CellKind, _EVALUATORS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.netlist.circuit import Circuit
+    from repro.sim.delays import DelayModel
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """Flat arrays mirroring one :class:`Circuit` at one version.
+
+    Instances are immutable snapshots; obtain them via
+    :func:`compile_circuit`, never by mutating an existing one.
+    """
+
+    name: str
+    version: int
+    n_nets: int
+    inputs: Tuple[int, ...]
+    input_set: frozenset
+    outputs: Tuple[int, ...]
+    driven: Tuple[bool, ...]
+    cell_kinds: Tuple[CellKind, ...]
+    cell_inputs: Tuple[Tuple[int, ...], ...]
+    cell_outputs: Tuple[Tuple[int, ...], ...]
+    cell_eval: Tuple[Callable[[Sequence[int]], Tuple[int, ...]], ...]
+    cell_is_seq: Tuple[bool, ...]
+    comb_fanout: Tuple[Tuple[int, ...], ...]
+    topo: Tuple[int, ...]
+    ff_cells: Tuple[int, ...]
+    ff_d: Tuple[int, ...]
+    ff_q: Tuple[int, ...]
+    out_specs: Tuple[Tuple[Tuple[int, int], ...], ...] | None
+    max_delay: int
+
+    # ------------------------------------------------------------------
+    def evaluate_flat(
+        self,
+        input_values: Sequence[int],
+        state: Mapping[int, int] | None = None,
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Zero-delay functional evaluation of one clock cycle.
+
+        *input_values* are bits in ``inputs`` order; *state* maps DFF
+        cell index -> stored bit (missing entries default to 0).
+        Returns ``(values, next_state)`` where *values* is a flat list
+        indexed by net (undriven non-input nets read 0).
+        """
+        if len(input_values) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} input values, "
+                f"got {len(input_values)}"
+            )
+        state = state or {}
+        values = [0] * self.n_nets
+        for net, v in zip(self.inputs, input_values):
+            values[net] = int(bool(v))
+        for i, ci in enumerate(self.ff_cells):
+            values[self.ff_q[i]] = state.get(ci, 0)
+        cell_inputs = self.cell_inputs
+        cell_outputs = self.cell_outputs
+        cell_eval = self.cell_eval
+        for ci in self.topo:
+            ins = [values[n] for n in cell_inputs[ci]]
+            outs = cell_eval[ci](ins)
+            for out_net, v in zip(cell_outputs[ci], outs):
+                values[out_net] = v
+        next_state = {
+            ci: values[self.ff_d[i]] for i, ci in enumerate(self.ff_cells)
+        }
+        return values, next_state
+
+
+#: circuit -> {delay cache token -> CompiledCircuit}
+_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def compile_circuit(
+    circuit: "Circuit", delay_model: "DelayModel | None" = None
+) -> CompiledCircuit:
+    """Return the (memoized) compiled form of *circuit*.
+
+    With *delay_model* ``None`` the compiled form carries no delay
+    information (``out_specs is None``) — enough for functional
+    evaluation and the bit-parallel backend.  Each distinct delay
+    model (by :meth:`DelayModel.cache_token`) gets its own entry;
+    mutating the circuit invalidates all of them.
+    """
+    key: Hashable = None if delay_model is None else delay_model.cache_token()
+    per_circuit = _CACHE.get(circuit)
+    if per_circuit is None:
+        per_circuit = _CACHE[circuit] = {}
+    cached = per_circuit.get(key)
+    if cached is not None and cached.version == circuit.version:
+        return cached
+    if per_circuit and next(iter(per_circuit.values())).version != circuit.version:
+        per_circuit.clear()  # the whole snapshot generation is stale
+    compiled = _build(circuit, delay_model)
+    per_circuit[key] = compiled
+    return compiled
+
+
+def _build(
+    circuit: "Circuit", delay_model: "DelayModel | None"
+) -> CompiledCircuit:
+    n_nets = len(circuit.nets)
+    cell_kinds = []
+    cell_inputs = []
+    cell_outputs = []
+    cell_eval = []
+    cell_is_seq = []
+    ff_cells: List[int] = []
+    ff_d: List[int] = []
+    ff_q: List[int] = []
+    out_specs: List[Tuple[Tuple[int, int], ...]] | None = (
+        None if delay_model is None else []
+    )
+    max_delay = 0
+    for cell in circuit.cells:
+        cell_kinds.append(cell.kind)
+        cell_inputs.append(cell.inputs)
+        cell_outputs.append(cell.outputs)
+        cell_eval.append(_EVALUATORS[cell.kind])
+        seq = cell.is_sequential
+        cell_is_seq.append(seq)
+        if seq:
+            ff_cells.append(cell.index)
+            ff_d.append(cell.inputs[0])
+            ff_q.append(cell.outputs[0])
+            if out_specs is not None:
+                out_specs.append(((cell.outputs[0], 0),))
+        elif out_specs is not None:
+            spec = tuple(
+                (out, delay_model.delay(cell, pos))
+                for pos, out in enumerate(cell.outputs)
+            )
+            out_specs.append(spec)
+            for _, d in spec:
+                if d > max_delay:
+                    max_delay = d
+    comb_fanout: List[Tuple[int, ...]] = [
+        tuple(ci for ci in net.fanout if not cell_is_seq[ci])
+        for net in circuit.nets
+    ]
+    return CompiledCircuit(
+        name=circuit.name,
+        version=circuit.version,
+        n_nets=n_nets,
+        inputs=tuple(circuit.inputs),
+        input_set=frozenset(circuit.inputs),
+        outputs=tuple(circuit.outputs),
+        driven=tuple(net.driver is not None for net in circuit.nets),
+        cell_kinds=tuple(cell_kinds),
+        cell_inputs=tuple(cell_inputs),
+        cell_outputs=tuple(cell_outputs),
+        cell_eval=tuple(cell_eval),
+        cell_is_seq=tuple(cell_is_seq),
+        comb_fanout=tuple(comb_fanout),
+        topo=tuple(c.index for c in circuit.topological_cells()),
+        ff_cells=tuple(ff_cells),
+        ff_d=tuple(ff_d),
+        ff_q=tuple(ff_q),
+        out_specs=None if out_specs is None else tuple(out_specs),
+        max_delay=max_delay,
+    )

@@ -1,12 +1,20 @@
-"""Event-driven gate/cell-level logic simulation.
+"""Gate/cell-level logic simulation with pluggable backends.
 
-The simulator propagates value changes through a
-:class:`~repro.netlist.circuit.Circuit` in integer "delta time" within
-each clock cycle (transport delay, last-write-wins per net and time
-slot), exactly the delta-time model of the paper's Figure 3.  Delay
-models are pluggable (:mod:`repro.sim.delays`), enabling the paper's
-unit-delay experiments (Table 1) and the ``dsum = 2*dcarry`` refinement
-(Table 2) without touching the netlist.
+Two engines run a :class:`~repro.netlist.circuit.Circuit` over the
+shared compiled IR (:mod:`repro.netlist.compiled`), behind the common
+:class:`~repro.sim.backends.SimBackend` protocol:
+
+* the **event-driven** engine (:mod:`repro.sim.engine`) propagates
+  value changes in integer "delta time" within each clock cycle
+  (transport delay, last-write-wins per net and time slot), exactly
+  the delta-time model of the paper's Figure 3 — glitches observable;
+* the **bit-parallel** engine (:mod:`repro.sim.backends`) packs many
+  cycles into per-net integer bitmasks for fast zero-delay functional
+  simulation and useful-activity estimation.
+
+Delay models are pluggable (:mod:`repro.sim.delays`), enabling the
+paper's unit-delay experiments (Table 1) and the ``dsum = 2*dcarry``
+refinement (Table 2) without touching the netlist.
 """
 
 from repro.sim.delays import (
@@ -19,6 +27,14 @@ from repro.sim.delays import (
     LoadDelay,
 )
 from repro.sim.engine import Simulator, CycleTrace
+from repro.sim.backends import (
+    SimBackend,
+    RunStats,
+    EventDrivenBackend,
+    BitParallelBackend,
+    canonical_backend,
+    get_backend,
+)
 from repro.sim.vectors import (
     WordStimulus,
     random_words,
@@ -38,6 +54,12 @@ __all__ = [
     "LoadDelay",
     "Simulator",
     "CycleTrace",
+    "SimBackend",
+    "RunStats",
+    "EventDrivenBackend",
+    "BitParallelBackend",
+    "canonical_backend",
+    "get_backend",
     "WordStimulus",
     "random_words",
     "correlated_words",

@@ -1,0 +1,475 @@
+"""Pluggable simulation backends over the compiled circuit IR.
+
+Both backends implement the :class:`SimBackend` protocol — construct
+with a circuit (plus options), call :meth:`run` with a vector stream,
+get back aggregated per-net :class:`RunStats` — so the activity layer
+(:class:`repro.core.activity.ActivityRun`) can swap engines without
+touching consumers:
+
+* :class:`EventDrivenBackend` — the exact transport-delay engine
+  (:class:`repro.sim.engine.Simulator`): intra-cycle delta timing,
+  glitches observable, per-cycle parity classification of useful vs
+  useless transitions.  The reference for every paper number.
+* :class:`BitParallelBackend` — zero-delay batch evaluation that packs
+  many clock cycles into single Python-int bitmasks per net and
+  evaluates each gate once per batch with bitwise operators.  Glitches
+  are invisible by construction, so every counted transition is a
+  settled-value change (useful activity).  Ideal for fast functional
+  verification, warm-up/fast-forward, and flipflop/useful-activity
+  estimation; its per-net toggle counts equal the event-driven
+  backend's per-net *useful* counts exactly.
+
+Both accept an explicit starting point (``initial_values`` +
+``initial_ff_state``), which is what makes exact vector-stream sharding
+possible: a shard's boundary state is computed cheaply with the
+bit-parallel backend and handed to an event-driven shard worker, whose
+traces are then bit-identical to an unsharded run (settled values
+provably equal zero-delay evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.transitions import NodeActivity
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
+from repro.sim.engine import Simulator
+
+InputVector = Sequence[int] | Mapping[int, int]
+
+
+@dataclass
+class RunStats:
+    """Aggregated per-net activity of one backend run.
+
+    ``final_values`` / ``final_ff_state`` snapshot the settled state
+    after the last counted cycle, so a subsequent run (on any backend)
+    can continue the stream exactly where this one stopped.
+    """
+
+    cycles: int = 0
+    per_node: Dict[int, NodeActivity] = field(default_factory=dict)
+    final_values: List[int] = field(default_factory=list)
+    final_ff_state: Dict[int, int] = field(default_factory=dict)
+
+
+@runtime_checkable
+class SimBackend(Protocol):
+    """Common protocol every simulation backend satisfies."""
+
+    #: Stable identifier used by CLIs, benchmarks and reports.
+    name: str
+    #: True when intra-cycle glitches are observable (event-driven);
+    #: False for settled-value-only engines (bit-parallel).
+    exact_glitches: bool
+
+    def run(
+        self,
+        vectors: Iterable[InputVector],
+        warmup: InputVector | None = None,
+        initial_values: Sequence[int] | None = None,
+        initial_ff_state: Mapping[int, int] | None = None,
+    ) -> RunStats:
+        """Simulate *vectors* and return aggregated activity."""
+        ...  # pragma: no cover - protocol stub
+
+
+def _resolve_vector(
+    vec: InputVector,
+    inputs: Tuple[int, ...],
+    input_set: frozenset,
+    current: List[int],
+) -> List[int]:
+    """Full positional input bits for *vec*, with mapping carry-over.
+
+    Mirrors :meth:`Simulator._normalise_inputs`: mapping keys must name
+    primary inputs, and inputs a mapping omits keep their *current*
+    value.  Updates *current* in place and returns a copy.
+    """
+    if isinstance(vec, Mapping):
+        for n in vec:
+            if n not in input_set:
+                raise ValueError(
+                    f"net {n} is not a primary input; mapping vectors may "
+                    "only drive primary inputs"
+                )
+        for pos, net in enumerate(inputs):
+            if net in vec:
+                current[pos] = int(bool(vec[net]))
+    else:
+        if len(vec) != len(inputs):
+            raise ValueError(
+                f"expected {len(inputs)} input bits, got {len(vec)}"
+            )
+        current[:] = [int(bool(v)) for v in vec]
+    return list(current)
+
+
+class EventDrivenBackend:
+    """Exact transport-delay backend (see :mod:`repro.sim.engine`).
+
+    Per-cycle toggle counts are folded into :class:`NodeActivity`
+    records with the paper's parity classification: an odd per-cycle
+    count contributes one useful transition, everything else is
+    useless.
+    """
+
+    name = "event"
+    exact_glitches = True
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_model: DelayModel | None = None,
+        monitor: Iterable[int] | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.delay_model = delay_model or UnitDelay()
+        self.monitor = None if monitor is None else list(monitor)
+
+    def run(
+        self,
+        vectors: Iterable[InputVector],
+        warmup: InputVector | None = None,
+        initial_values: Sequence[int] | None = None,
+        initial_ff_state: Mapping[int, int] | None = None,
+    ) -> RunStats:
+        sim = Simulator(self.circuit, self.delay_model, monitor=self.monitor)
+        if initial_ff_state:
+            sim.ff_state.update(initial_ff_state)
+        it = iter(vectors)
+        if initial_values is not None:
+            # Resuming mid-stream from an exact settled state; an
+            # explicit warmup on top re-settles from that state (same
+            # semantics as the bit-parallel backend).
+            sim.values[:] = initial_values
+            if warmup is not None:
+                sim.settle(warmup)
+        else:
+            if warmup is None:
+                try:
+                    warmup = next(it)
+                except StopIteration:
+                    return RunStats(
+                        final_values=list(sim.values),
+                        final_ff_state=dict(sim.ff_state),
+                    )
+            sim.settle(warmup)
+        stats = RunStats()
+        per_node = stats.per_node
+        for vec in it:
+            trace = sim.step(vec)
+            stats.cycles += 1
+            rises = trace.rises
+            for net, count in trace.toggles.items():
+                act = per_node.get(net)
+                if act is None:
+                    act = per_node[net] = NodeActivity()
+                act.add_cycle(count, rises.get(net, 0))
+        stats.final_values = list(sim.values)
+        stats.final_ff_state = dict(sim.ff_state)
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# Bit-parallel zero-delay evaluation
+# ---------------------------------------------------------------------------
+
+def _bits_const0(ins, mask):
+    return (0,)
+
+
+def _bits_const1(ins, mask):
+    return (mask,)
+
+
+def _bits_buf(ins, mask):
+    return (ins[0],)
+
+
+def _bits_not(ins, mask):
+    return (ins[0] ^ mask,)
+
+
+def _bits_and(ins, mask):
+    out = mask
+    for v in ins:
+        out &= v
+    return (out,)
+
+
+def _bits_or(ins, mask):
+    out = 0
+    for v in ins:
+        out |= v
+    return (out,)
+
+
+def _bits_nand(ins, mask):
+    return (_bits_and(ins, mask)[0] ^ mask,)
+
+
+def _bits_nor(ins, mask):
+    return (_bits_or(ins, mask)[0] ^ mask,)
+
+
+def _bits_xor(ins, mask):
+    out = 0
+    for v in ins:
+        out ^= v
+    return (out,)
+
+
+def _bits_xnor(ins, mask):
+    return (_bits_xor(ins, mask)[0] ^ mask,)
+
+
+def _bits_mux2(ins, mask):
+    sel, a, b = ins
+    return (a ^ ((a ^ b) & sel),)
+
+
+def _bits_ha(ins, mask):
+    a, b = ins
+    return (a ^ b, a & b)
+
+
+def _bits_fa(ins, mask):
+    a, b, cin = ins
+    p = a ^ b
+    return (p ^ cin, (a & b) | (cin & p))
+
+
+#: Bitwise (cycle-packed) evaluators, one lane per clock cycle.
+_BIT_EVALUATORS = {
+    CellKind.CONST0: _bits_const0,
+    CellKind.CONST1: _bits_const1,
+    CellKind.BUF: _bits_buf,
+    CellKind.NOT: _bits_not,
+    CellKind.AND: _bits_and,
+    CellKind.OR: _bits_or,
+    CellKind.NAND: _bits_nand,
+    CellKind.NOR: _bits_nor,
+    CellKind.XOR: _bits_xor,
+    CellKind.XNOR: _bits_xnor,
+    CellKind.MUX2: _bits_mux2,
+    CellKind.HA: _bits_ha,
+    CellKind.FA: _bits_fa,
+}
+
+
+class BitParallelBackend:
+    """Zero-delay batch backend: one int bitmask per net, B cycles deep.
+
+    Combinational logic is evaluated once per batch with bitwise
+    operators over ``batch_cycles``-bit integers (bit *k* of a net's
+    mask is its settled value in cycle *k* of the batch).  Flipflops
+    introduce a cross-cycle dependency — ``q[k] = d[k-1]`` — resolved
+    by fixpoint iteration: each pass extends the correct prefix by at
+    least one register stage, so a circuit with an r-stage register
+    pipeline converges in about ``r + 1`` passes regardless of batch
+    size.
+
+    Because evaluation is zero-delay, per-cycle toggle counts are 0 or
+    1 and every transition is useful — the numbers match the
+    event-driven backend's *useful* counts per net exactly (both equal
+    "settled value changed this cycle").
+    """
+
+    name = "bitparallel"
+    exact_glitches = False
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_model: DelayModel | None = None,
+        monitor: Iterable[int] | None = None,
+        batch_cycles: int = 256,
+    ) -> None:
+        if delay_model is not None and not isinstance(delay_model, ZeroDelay):
+            raise ValueError(
+                "the bit-parallel backend is inherently zero-delay; "
+                "pass delay_model=None (or ZeroDelay) or use the "
+                "event-driven backend"
+            )
+        if batch_cycles < 1:
+            raise ValueError("batch_cycles must be >= 1")
+        self.circuit = circuit
+        self.delay_model = ZeroDelay()
+        self._cc: CompiledCircuit = compile_circuit(circuit)
+        if monitor is None:
+            self._monitor = [
+                n for n in range(self._cc.n_nets) if self._cc.driven[n]
+            ]
+        else:
+            self._monitor = list(monitor)
+        self.batch_cycles = batch_cycles
+        self._bit_eval = [
+            _BIT_EVALUATORS.get(kind) for kind in self._cc.cell_kinds
+        ]
+
+    # ------------------------------------------------------------------
+    def _eval_batch(
+        self, net_bits: List[int], mask: int
+    ) -> None:
+        """One zero-delay pass over the combinational logic, in place."""
+        cc = self._cc
+        cell_inputs = cc.cell_inputs
+        cell_outputs = cc.cell_outputs
+        evals = self._bit_eval
+        for ci in cc.topo:
+            ins = [net_bits[n] for n in cell_inputs[ci]]
+            outs = evals[ci](ins, mask)
+            for out_net, v in zip(cell_outputs[ci], outs):
+                net_bits[out_net] = v
+
+    def run(
+        self,
+        vectors: Iterable[InputVector],
+        warmup: InputVector | None = None,
+        initial_values: Sequence[int] | None = None,
+        initial_ff_state: Mapping[int, int] | None = None,
+    ) -> RunStats:
+        cc = self._cc
+        n_nets = cc.n_nets
+        inputs = cc.inputs
+        input_set = cc.input_set
+        if initial_values is not None:
+            values = list(initial_values)
+        else:
+            values = [0] * n_nets
+        state: Dict[int, int] = dict.fromkeys(cc.ff_cells, 0)
+        if initial_ff_state:
+            state.update(initial_ff_state)
+        cur_inputs = [values[net] for net in inputs]
+
+        it = iter(vectors)
+        if initial_values is None:
+            if warmup is None:
+                try:
+                    warmup = next(it)
+                except StopIteration:
+                    return RunStats(
+                        final_values=values, final_ff_state=state
+                    )
+            full = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full, state)
+        elif warmup is not None:
+            full = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full, state)
+
+        stats = RunStats()
+        per_node = stats.per_node
+        ff_cells, ff_d, ff_q = cc.ff_cells, cc.ff_d, cc.ff_q
+        monitor = self._monitor
+        B = self.batch_cycles
+
+        batch: List[List[int]] = []
+        exhausted = False
+        while not exhausted:
+            batch.clear()
+            for vec in it:
+                batch.append(
+                    _resolve_vector(vec, inputs, input_set, cur_inputs)
+                )
+                if len(batch) == B:
+                    break
+            else:
+                exhausted = True
+            if not batch:
+                break
+            nbits = len(batch)
+            mask = (1 << nbits) - 1
+            top = nbits - 1
+
+            net_bits = [0] * n_nets
+            for pos, net in enumerate(inputs):
+                stream = 0
+                for k in range(nbits):
+                    stream |= batch[k][pos] << k
+                net_bits[net] = stream
+
+            if ff_cells:
+                # q[0] comes from the D value settled before this batch;
+                # within the batch, q[k] = d[k-1].  Iterate to fixpoint.
+                q_init = [values[d] & 1 for d in ff_d]
+                q_bits = list(q_init)
+                for _ in range(nbits + 1):
+                    for i, qn in enumerate(ff_q):
+                        net_bits[qn] = q_bits[i]
+                    self._eval_batch(net_bits, mask)
+                    new_q = [
+                        ((net_bits[ff_d[i]] << 1) | q_init[i]) & mask
+                        for i in range(len(ff_cells))
+                    ]
+                    if new_q == q_bits:
+                        break
+                    q_bits = new_q
+                else:  # pragma: no cover - mathematically unreachable
+                    raise RuntimeError("flipflop fixpoint did not converge")
+                for i, ci in enumerate(ff_cells):
+                    state[ci] = (q_bits[i] >> top) & 1
+            else:
+                self._eval_batch(net_bits, mask)
+
+            for net in monitor:
+                s = net_bits[net]
+                prev = ((s << 1) | (values[net] & 1)) & mask
+                diff = s ^ prev
+                if diff:
+                    act = per_node.get(net)
+                    if act is None:
+                        act = per_node[net] = NodeActivity()
+                    tog = diff.bit_count()
+                    act.toggles += tog
+                    act.rises += (s & diff).bit_count()
+                    act.useful += tog
+                    act.cycles_active += tog
+            for net in range(n_nets):
+                values[net] = (net_bits[net] >> top) & 1
+            stats.cycles += nbits
+
+        stats.final_values = values
+        stats.final_ff_state = state
+        return stats
+
+
+#: Registered backends, by canonical name (aliases resolved in
+#: :func:`get_backend`).
+BACKENDS = {
+    EventDrivenBackend.name: EventDrivenBackend,
+    BitParallelBackend.name: BitParallelBackend,
+}
+
+_ALIASES = {
+    "event": "event",
+    "event-driven": "event",
+    "bitparallel": "bitparallel",
+    "bit-parallel": "bitparallel",
+    "batch": "bitparallel",
+}
+
+
+def canonical_backend(name: str) -> str:
+    """Resolve a backend name/alias to its canonical registry key."""
+    canonical = _ALIASES.get(name)
+    if canonical is None:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; "
+            f"choose from {sorted(set(_ALIASES))}"
+        )
+    return canonical
+
+
+def get_backend(
+    name: str,
+    circuit: Circuit,
+    delay_model: DelayModel | None = None,
+    monitor: Iterable[int] | None = None,
+) -> SimBackend:
+    """Construct the backend called *name* for *circuit*."""
+    return BACKENDS[canonical_backend(name)](circuit, delay_model, monitor)

@@ -34,6 +34,18 @@ class DelayModel:
         """Human-readable name used in experiment reports."""
         return type(self).__name__
 
+    def cache_token(self) -> tuple:
+        """Hashable key identifying this model's delay function.
+
+        Used by :func:`repro.netlist.compiled.compile_circuit` to
+        memoize compiled circuits per delay model.  The default —
+        ``(class, describe())`` — is correct for every model whose
+        delays are fully determined by its description; models with
+        hidden per-instance state must override (see
+        :class:`LoadDelay`).
+        """
+        return (type(self).__qualname__, self.describe())
+
 
 class UnitDelay(DelayModel):
     """Every combinational cell output has delay 1 (the paper's default)."""
@@ -140,6 +152,11 @@ class LoadDelay(DelayModel):
             f"load-dependent delay on {self._circuit_name!r} "
             f"(base {self._base}, +{self._extra}/{self._per} loads)"
         )
+
+    def cache_token(self) -> tuple:
+        # Delays depend on the bound circuit's fanout map, which the
+        # description does not fully capture — key on instance identity.
+        return (type(self).__qualname__, self.describe(), id(self))
 
 
 class HintedDelay(DelayModel):

@@ -1,4 +1,10 @@
-"""The event-driven simulator core.
+"""The event-driven transport-delay simulation engine.
+
+This module is the low-level core behind the *event-driven* entry in
+the pluggable backend suite (:mod:`repro.sim.backends`): it owns the
+intra-cycle delta-time semantics, while backends adapt it (and its
+zero-delay bit-parallel sibling) to the common :class:`SimBackend`
+protocol consumed by :class:`repro.core.activity.ActivityRun`.
 
 One :class:`Simulator` instance wraps a circuit plus a delay model and
 steps it one clock cycle at a time:
@@ -16,16 +22,25 @@ Semantics: transport delay with per-(net, time) last-write-wins
 coalescing; integer delta time; two-valued logic.  After every step the
 settled values provably equal the zero-delay functional evaluation
 (checked in the test suite, including property-based tests).
+
+Implementation: all per-cell structure (inputs, outputs, evaluators,
+pre-resolved delays, combinational fanout) comes from the memoized
+compiled IR (:func:`repro.netlist.compiled.compile_circuit`), so
+constructing a simulator is cheap after the first one per
+``(circuit, delay model)`` pair.  The event queue is a bounded-delay
+calendar (timing wheel) of ``max_delay + 1`` slots instead of a binary
+heap: every pending event lies within ``max_delay`` deltas of the
+current time, so popping the next time slot is an O(1) circular scan
+with no heap reordering and no auxiliary scheduled-time set.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-from repro.netlist.cells import CellKind, _EVALUATORS
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import CompiledCircuit, compile_circuit
 from repro.sim.delays import DelayModel, UnitDelay
 
 
@@ -95,47 +110,27 @@ class Simulator:
         self.delay_model = delay_model or UnitDelay()
         self.record_events = record_events
 
-        n_nets = len(circuit.nets)
+        cc: CompiledCircuit = compile_circuit(circuit, self.delay_model)
+        self._cc = cc
+        n_nets = cc.n_nets
         self.values: List[int] = [0] * n_nets
-        self.ff_state: Dict[int, int] = {
-            c.index: 0 for c in circuit.cells if c.is_sequential
-        }
+        self.ff_state: Dict[int, int] = {ci: 0 for ci in cc.ff_cells}
         self._cycle = 0
 
         if monitor is None:
-            monitored = [net.driver is not None for net in circuit.nets]
+            monitored = list(cc.driven)
         else:
             monitored = [False] * n_nets
             for n in monitor:
                 monitored[n] = True
         self._monitored = monitored
 
-        # Pre-resolve everything the hot loop needs into flat lists.
-        self._fanout: List[Tuple[int, ...]] = [
-            tuple(net.fanout) for net in circuit.nets
-        ]
-        self._cell_inputs: List[Tuple[int, ...]] = []
-        self._cell_outputs: List[Tuple[int, ...]] = []
-        self._cell_eval = []
-        self._cell_delays: List[Tuple[int, ...]] = []
-        self._cell_is_seq: List[bool] = []
-        for cell in circuit.cells:
-            self._cell_inputs.append(cell.inputs)
-            self._cell_outputs.append(cell.outputs)
-            self._cell_eval.append(_EVALUATORS[cell.kind])
-            self._cell_is_seq.append(cell.is_sequential)
-            if cell.is_sequential:
-                self._cell_delays.append((0,))
-            else:
-                self._cell_delays.append(
-                    tuple(
-                        self.delay_model.delay(cell, pos)
-                        for pos in range(len(cell.outputs))
-                    )
-                )
-        self._ff_cells = [c.index for c in circuit.cells if c.is_sequential]
-        self._ff_d_net = {i: circuit.cells[i].inputs[0] for i in self._ff_cells}
-        self._ff_q_net = {i: circuit.cells[i].outputs[0] for i in self._ff_cells}
+        # Timing wheel size: pending events at time t live in slot
+        # t % size.  Delays are bounded by max_delay, so max_delay + 1
+        # slots always hold every outstanding time without collision.
+        # The wheel itself is allocated per step so an exception
+        # escaping mid-step cannot leave stale events behind.
+        self._wheel_size = cc.max_delay + 1
 
     # ------------------------------------------------------------------
     @property
@@ -146,9 +141,23 @@ class Simulator:
     def _normalise_inputs(
         self, inputs: Sequence[int] | Mapping[int, int]
     ) -> Dict[int, int]:
-        """Turn a positional or per-net input spec into {net: bit}."""
+        """Turn a positional or per-net input spec into {net: bit}.
+
+        Mapping keys must name primary-input nets: anything else would
+        silently inject events onto internally driven nets at t=0.
+        """
         if isinstance(inputs, Mapping):
-            return {n: int(bool(v)) for n, v in inputs.items()}
+            input_set = self._cc.input_set
+            vec = {}
+            for n, v in inputs.items():
+                if n not in input_set:
+                    raise ValueError(
+                        f"net {n} is not a primary input of "
+                        f"{self.circuit.name!r}; mapping vectors may only "
+                        "drive primary inputs"
+                    )
+                vec[n] = int(bool(v))
+            return vec
         if len(inputs) != len(self.circuit.inputs):
             raise ValueError(
                 f"expected {len(self.circuit.inputs)} input bits, "
@@ -167,12 +176,10 @@ class Simulator:
         that per-cycle parity classification is defined against.
         """
         vec = self._normalise_inputs(inputs)
-        full = [0] * len(self.circuit.inputs)
-        for i, net in enumerate(self.circuit.inputs):
-            full[i] = vec.get(net, self.values[net])
-        values, _ = self.circuit.evaluate(full, state=self.ff_state)
-        for net, v in values.items():
-            self.values[net] = v
+        values = self.values
+        full = [vec.get(net, values[net]) for net in self._cc.inputs]
+        flat, _ = self._cc.evaluate_flat(full, self.ff_state)
+        self.values = flat
 
     def step(self, inputs: Sequence[int] | Mapping[int, int]) -> CycleTrace:
         """Advance one clock cycle and return its activity trace.
@@ -187,36 +194,41 @@ class Simulator:
         if self.record_events:
             trace.events = []
 
-        # Clock edge: capture D pins *before* anything changes.
-        new_q = {i: self.values[self._ff_d_net[i]] for i in self._ff_cells}
-
-        pending: Dict[int, Dict[int, int]] = {0: {}}
-        at0 = pending[0]
-        for net, v in vec.items():
-            at0[net] = v
-        for i, q in new_q.items():
-            self.ff_state[i] = q
-            at0[self._ff_q_net[i]] = q
-
-        heap: List[int] = [0]
-        scheduled_times = {0}
+        cc = self._cc
         values = self.values
-        fanout = self._fanout
+        ff_state = self.ff_state
+
+        # Clock edge: capture D pins *before* anything changes.
+        at0: Dict[int, int] = dict(vec)
+        ff_q = cc.ff_q
+        for i, ci in enumerate(cc.ff_cells):
+            q = values[cc.ff_d[i]]
+            ff_state[ci] = q
+            at0[ff_q[i]] = q
+
+        size = self._wheel_size
+        wheel: List[Dict[int, int] | None] = [None] * size
+        wheel[0] = at0
+        n_slots = 1
+        comb_fanout = cc.comb_fanout
+        cell_inputs = cc.cell_inputs
+        cell_eval = cc.cell_eval
+        out_specs = cc.out_specs
         monitored = self._monitored
         toggles = trace.toggles
         rises = trace.rises
-        cell_is_seq = self._cell_is_seq
-        cell_inputs = self._cell_inputs
-        cell_outputs = self._cell_outputs
-        cell_eval = self._cell_eval
-        cell_delays = self._cell_delays
         events = trace.events
+        t = 0
         last_time = 0
 
-        while heap:
-            t = heapq.heappop(heap)
-            scheduled_times.discard(t)
-            changes = pending.pop(t)
+        while n_slots:
+            idx = t % size
+            changes = wheel[idx]
+            if changes is None:
+                t += 1
+                continue
+            wheel[idx] = None
+            n_slots -= 1
             affected: Dict[int, None] = {}
             any_change = False
             for net, v in changes.items():
@@ -230,25 +242,20 @@ class Simulator:
                         rises[net] = rises.get(net, 0) + 1
                 if events is not None:
                     events.append((t, net, v))
-                for ci in fanout[net]:
+                for ci in comb_fanout[net]:
                     affected[ci] = None
             if any_change:
                 last_time = t
             for ci in affected:
-                if cell_is_seq[ci]:
-                    continue
                 ins = [values[n] for n in cell_inputs[ci]]
                 outs = cell_eval[ci](ins)
-                delays = cell_delays[ci]
-                for pos, out_net in enumerate(cell_outputs[ci]):
-                    when = t + delays[pos]
-                    slot = pending.get(when)
+                for (out_net, d), v in zip(out_specs[ci], outs):
+                    widx = (t + d) % size
+                    slot = wheel[widx]
                     if slot is None:
-                        slot = pending[when] = {}
-                        if when not in scheduled_times:
-                            scheduled_times.add(when)
-                            heapq.heappush(heap, when)
-                    slot[out_net] = outs[pos]
+                        slot = wheel[widx] = {}
+                        n_slots += 1
+                    slot[out_net] = v
 
         trace.settle_time = last_time
         self._cycle += 1

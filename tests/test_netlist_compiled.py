@@ -1,0 +1,132 @@
+"""Unit tests for the compiled circuit IR and its memoization."""
+
+import random
+
+import pytest
+
+from repro.netlist.cells import CellKind
+from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import compile_circuit
+from repro.sim.delays import LoadDelay, SumCarryDelay, UnitDelay
+
+from tests.conftest import random_dag_circuit
+
+
+class TestCompileMemoization:
+    def test_same_model_instance_hits_cache(self, xor_chain):
+        model = UnitDelay()
+        assert compile_circuit(xor_chain, model) is compile_circuit(
+            xor_chain, model
+        )
+
+    def test_equivalent_fresh_instances_share_entry(self, xor_chain):
+        # analyze()-style call sites construct a fresh UnitDelay each
+        # time; the cache token keys on (class, description) so they
+        # still share one compiled form.
+        assert compile_circuit(xor_chain, UnitDelay()) is compile_circuit(
+            xor_chain, UnitDelay()
+        )
+
+    def test_structure_only_compile_cached(self, xor_chain):
+        assert compile_circuit(xor_chain) is compile_circuit(xor_chain)
+        assert compile_circuit(xor_chain).out_specs is None
+
+    def test_different_models_get_different_entries(self, xor_chain):
+        a = compile_circuit(xor_chain, UnitDelay())
+        b = compile_circuit(xor_chain, SumCarryDelay())
+        assert a is not b
+
+    def test_mutation_invalidates(self, xor_chain):
+        before = compile_circuit(xor_chain, UnitDelay())
+        xor_chain.gate(CellKind.NOT, xor_chain.net("out"))
+        after = compile_circuit(xor_chain, UnitDelay())
+        assert after is not before
+        assert len(after.cell_kinds) == len(before.cell_kinds) + 1
+
+    def test_version_bumps_on_all_mutators(self):
+        c = Circuit("v")
+        v0 = c.version
+        n = c.add_input("a")
+        assert c.version > v0
+        v1 = c.version
+        y = c.gate(CellKind.NOT, n)
+        assert c.version > v1
+        v2 = c.version
+        c.mark_output(y)
+        assert c.version > v2
+
+    def test_load_delay_keys_on_instance(self, xor_chain):
+        a = LoadDelay(xor_chain)
+        b = LoadDelay(xor_chain)
+        assert a.cache_token() != b.cache_token()
+        assert compile_circuit(xor_chain, a) is not compile_circuit(
+            xor_chain, b
+        )
+
+
+class TestCompiledStructure:
+    def test_topo_matches_circuit_order(self, rng):
+        c = random_dag_circuit(rng, n_inputs=5, n_gates=20)
+        compiled = compile_circuit(c)
+        assert list(compiled.topo) == [
+            cell.index for cell in c.topological_cells()
+        ]
+
+    def test_delays_resolved_through_model(self):
+        c = Circuit("fa")
+        a, b, cin = (c.add_input(n) for n in "abc")
+        cell = c.add_cell(CellKind.FA, [a, b, cin])
+        compiled = compile_circuit(c, SumCarryDelay(dsum=3, dcarry=1))
+        spec = compiled.out_specs[cell.index]
+        assert spec == ((cell.outputs[0], 3), (cell.outputs[1], 1))
+        assert compiled.max_delay == 3
+
+    def test_comb_fanout_excludes_flipflops(self):
+        c = Circuit("ff")
+        d = c.add_input("d")
+        c.add_dff(d, name="ff0")
+        y = c.gate(CellKind.NOT, d)
+        c.mark_output(y)
+        compiled = compile_circuit(c)
+        readers = compiled.comb_fanout[d]
+        assert all(not compiled.cell_is_seq[ci] for ci in readers)
+        assert len(readers) == 1
+
+    def test_ff_wiring(self):
+        c = Circuit("shift")
+        n = c.add_input("d")
+        q1 = c.add_dff(n, name="ff0")
+        q2 = c.add_dff(q1, name="ff1")
+        c.mark_output(q2)
+        compiled = compile_circuit(c)
+        assert compiled.ff_d == (n, q1)
+        assert compiled.ff_q == (q1, q2)
+
+
+class TestEvaluateFlat:
+    def test_matches_circuit_evaluate(self, rng):
+        for _ in range(10):
+            c = random_dag_circuit(rng, n_inputs=4, n_gates=12)
+            compiled = compile_circuit(c)
+            vec = [rng.randint(0, 1) for _ in c.inputs]
+            flat, next_flat = compiled.evaluate_flat(vec)
+            values, next_state = c.evaluate(vec)
+            for net, v in values.items():
+                assert flat[net] == v
+            assert next_flat == next_state
+
+    def test_bad_input_length(self, xor_chain):
+        with pytest.raises(ValueError, match="expected 3"):
+            compile_circuit(xor_chain).evaluate_flat([0, 1])
+
+    def test_state_threading(self):
+        c = Circuit("toggle")
+        q = c.new_net("q")
+        nq = c.gate(CellKind.NOT, q, name="inv")
+        ff = c.add_cell(CellKind.DFF, [nq], [q], name="ff")
+        compiled = compile_circuit(c)
+        values, nxt = compiled.evaluate_flat([], state={ff.index: 0})
+        assert values[q] == 0 and values[nq] == 1
+        assert nxt == {ff.index: 1}
+        values, nxt = compiled.evaluate_flat([], state=nxt)
+        assert values[q] == 1 and nxt == {ff.index: 0}
