@@ -8,8 +8,12 @@ the heaviest netlists in the reproduction.
   engine, 16x16, 20 cycles) — its trajectory shows the effect of the
   compiled-IR / timing-wheel work on the hot loop.
 * ``test_sim_throughput_backends`` parametrizes the same workload over
-  the pluggable backends (event-driven vs bit-parallel) and adds a
-  32x32 case, so backend wins are tracked per size.
+  the pluggable backends (event-driven vs waveform vs bit-parallel)
+  and adds a 32x32 case, so backend wins are tracked per size.
+
+``benchmarks/run_benchmarks.py`` runs this module through
+pytest-benchmark's JSON export and refreshes the committed
+``BENCH_sim.json`` trajectory at the repo root.
 """
 
 import random
@@ -46,7 +50,7 @@ def test_sim_throughput_array16(benchmark):
 
 
 @pytest.mark.parametrize("n_bits,n_cycles", [(16, 20), (32, 10)])
-@pytest.mark.parametrize("backend", ["event", "bitparallel"])
+@pytest.mark.parametrize("backend", ["event", "waveform", "bitparallel"])
 def test_sim_throughput_backends(benchmark, n_bits, n_cycles, backend):
     circuit, vectors = _workload(n_bits, n_cycles)
     run = ActivityRun(circuit, backend=backend)

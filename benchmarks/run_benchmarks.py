@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Refresh the committed simulator-throughput trajectory.
+
+Runs ``bench_sim_throughput.py`` through pytest-benchmark's JSON
+export and normalizes the result into ``BENCH_sim.json`` at the repo
+root: one entry per (backend, workload) with the median wall time and
+derived cycles/s, plus per-workload speedups relative to the
+event-driven reference.  Committing the file after perf-relevant PRs
+gives the repo a reviewable perf trajectory — a regression shows up as
+a diff, not as an anecdote.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+
+Extra pytest arguments are passed through, e.g.::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py -k "16"
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH = Path(__file__).resolve().parent / "bench_sim_throughput.py"
+OUT = ROOT / "BENCH_sim.json"
+
+
+def run_benchmarks(extra_args: list[str]) -> dict:
+    """Run the throughput bench, returning pytest-benchmark's export."""
+    with tempfile.TemporaryDirectory() as tmp:
+        export = Path(tmp) / "bench.json"
+        cmd = [
+            sys.executable, "-m", "pytest", str(BENCH), "-q",
+            "--benchmark-disable-gc",
+            f"--benchmark-json={export}",
+            *extra_args,
+        ]
+        proc = subprocess.run(cmd, cwd=ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(proc.returncode)
+        with open(export) as fh:
+            return json.load(fh)
+
+
+def normalize(data: dict) -> dict:
+    """Collapse the pytest-benchmark export into the committed schema."""
+    results = {}
+    for bench in data.get("benchmarks", []):
+        params = bench.get("params") or {}
+        median = bench["stats"]["median"]
+        if bench["name"].startswith("test_sim_throughput_backends"):
+            backend = params["backend"]
+            n_bits = params["n_bits"]
+            n_cycles = params["n_cycles"]
+            key = f"{backend}/{n_bits}x{n_bits}"
+        elif bench["name"].startswith("test_sim_throughput_array16"):
+            # Historical single-engine series (Simulator.step loop).
+            backend, n_bits, n_cycles = "event-step-loop", 16, 20
+            key = f"{backend}/{n_bits}x{n_bits}"
+        else:
+            continue
+        results[key] = {
+            "backend": backend,
+            "workload": f"array{n_bits} multiplier, {n_cycles} cycles",
+            "median_s": round(median, 6),
+            "cycles_per_s": round(n_cycles / median, 1),
+        }
+    # Speedups vs the event-driven reference, per workload size.
+    for key, entry in results.items():
+        ref = results.get(f"event/{key.split('/', 1)[1]}")
+        if ref is not None:
+            entry["speedup_vs_event"] = round(
+                ref["median_s"] / entry["median_s"], 2
+            )
+    return {
+        "schema": 1,
+        "source": "benchmarks/bench_sim_throughput.py",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": dict(sorted(results.items())),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    data = normalize(run_benchmarks(list(argv or [])))
+    with open(OUT, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {OUT}")
+    for key, entry in data["results"].items():
+        speedup = entry.get("speedup_vs_event")
+        extra = f"  ({speedup}x vs event)" if speedup else ""
+        print(
+            f"  {key:28s} {entry['median_s'] * 1000:9.3f} ms median"
+            f"  {entry['cycles_per_s']:>10.1f} cycles/s{extra}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,6 +45,7 @@ from repro.sim import (
     PerKindDelay,
     WordStimulus,
     EventDrivenBackend,
+    WaveformBackend,
     BitParallelBackend,
     dump_vcd,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "validate",
     "Simulator",
     "EventDrivenBackend",
+    "WaveformBackend",
     "BitParallelBackend",
     "UnitDelay",
     "SumCarryDelay",

@@ -5,7 +5,11 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli analyze --circuit array8 --vectors 500
     python -m repro.cli analyze --circuit array16 --vectors 2000 \
         --shards 8 --jobs 4          # sharded, exactly merged
+    python -m repro.cli analyze --circuit array16 --backend auto \
+        --vectors 2000               # waveform engine, glitch-exact
     python -m repro.cli analyze --circuit rca16 --backend bitparallel
+    python -m repro.cli analyze --circuit rca8 --vectors 50 \
+        --backend auto --vcd rca8.vcd   # falls back to event-driven
     python -m repro.cli experiment table1
     python -m repro.cli export --circuit detector --format dot
     python -m repro.cli balance --circuit rca16 --vectors 300
@@ -72,12 +76,29 @@ def _delay_model(spec: str) -> DelayModel:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.sim.backends import select_backend
+
     circuit, stim = build_named_circuit(args.circuit)
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     rng = random.Random(args.seed)
-    if args.backend == "event":
+    backend = args.backend
+    if args.vcd is not None:
+        # Recorded events exist only on the event-driven engine; auto
+        # falls back to it, anything else is a contradiction.
+        if backend not in ("auto", "event"):
+            raise SystemExit(
+                f"--vcd requires recorded events, which only the "
+                f"event-driven engine produces; drop --backend {backend} "
+                "or use --backend auto"
+            )
+        if args.shards > 1:
+            raise SystemExit("--vcd records a single stream; drop --shards")
+        backend = select_backend(record_events=True)
+    if backend in ("event", "waveform", "auto"):
         delay = _delay_model(args.delay or "unit")
+        if backend == "auto":
+            backend = select_backend(delay)
     elif args.delay is not None:
         raise SystemExit(
             f"--delay {args.delay} has no effect on the zero-delay "
@@ -85,9 +106,21 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     else:
         delay = None
-    run = ActivityRun(circuit, delay_model=delay, backend=args.backend)
+    run = ActivityRun(circuit, delay_model=delay, backend=backend)
     vectors = stim.random(rng, args.vectors + 1)
-    if args.shards > 1:
+    if args.vcd is not None:
+        from repro.core.activity import accumulate_traces
+        from repro.sim.vcd import dump_vcd
+
+        traces = run.step_traces(vectors, record_events=True)
+        result = accumulate_traces(run._result_shell(), traces)
+        cycle_length = max(
+            (t.settle_time for t in traces), default=0
+        ) + 1
+        with open(args.vcd, "w") as fh:
+            fh.write(dump_vcd(circuit, traces, cycle_length=cycle_length))
+        print(f"wrote {len(traces)} cycles to {args.vcd}")
+    elif args.shards > 1:
         result = run.run_sharded(
             vectors, shards=args.shards, processes=args.jobs
         )
@@ -199,8 +232,20 @@ def make_parser() -> argparse.ArgumentParser:
         help="event-backend delay model (default: unit)",
     )
     p.add_argument(
-        "--backend", default="event", choices=["event", "bitparallel"],
-        help="simulation backend (bitparallel counts useful activity only)",
+        "--backend", default="event",
+        choices=["auto", "event", "waveform", "bitparallel"],
+        help=(
+            "simulation backend: auto picks the waveform engine for "
+            "glitch-exact aggregate runs (event-driven when --vcd is "
+            "given); bitparallel counts useful activity only"
+        ),
+    )
+    p.add_argument(
+        "--vcd", default=None, metavar="PATH",
+        help=(
+            "dump the simulated waveforms to a VCD file (forces the "
+            "event-driven engine with event recording)"
+        ),
     )
     p.add_argument(
         "--shards", type=int, default=1,

@@ -37,12 +37,14 @@ from typing import Dict, Iterable, List, Mapping, Sequence
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
 from repro.sim.backends import (
+    AUTO_BACKEND,
     BACKENDS,
     BitParallelBackend,
     RunStats,
     _resolve_vector,
     canonical_backend,
     get_backend,
+    select_backend,
 )
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 from repro.sim.engine import CycleTrace, Simulator
@@ -173,16 +175,57 @@ class ActivityResult:
 def accumulate_traces(
     result: ActivityResult, traces: Iterable[CycleTrace]
 ) -> ActivityResult:
-    """Fold raw cycle traces into *result* (in place; returned for chaining)."""
-    per_node = result.per_node
+    """Fold raw cycle traces into *result* (in place; returned for chaining).
+
+    The hot aggregation path runs on flat per-net arrays (grown on
+    demand) with the parity classification inlined, and folds into
+    :class:`NodeActivity` records once at the end — one dict lookup
+    and method call per *net*, not per (net, cycle).
+    """
+    size = 0
+    tog: List[int] = []
+    ris: List[int] = []
+    useful: List[int] = []
+    useless: List[int] = []
+    active: List[int] = []
+    n_cycles = 0
     for trace in traces:
-        result.cycles += 1
+        n_cycles += 1
         rises = trace.rises
         for net, toggles in trace.toggles.items():
-            act = per_node.get(net)
-            if act is None:
-                act = per_node[net] = NodeActivity()
-            act.add_cycle(toggles, rises.get(net, 0))
+            if net >= size:
+                grow = net + 1 - size
+                tog += [0] * grow
+                ris += [0] * grow
+                useful += [0] * grow
+                useless += [0] * grow
+                active += [0] * grow
+                size = net + 1
+            tog[net] += toggles
+            ris[net] += rises.get(net, 0)
+            if toggles & 1:
+                useful[net] += 1
+                useless[net] += toggles - 1
+            else:
+                useless[net] += toggles
+            active[net] += 1
+    result.cycles += n_cycles
+    per_node = result.per_node
+    for net in range(size):
+        if not tog[net]:
+            continue
+        act = per_node.get(net)
+        if act is None:
+            per_node[net] = NodeActivity(
+                tog[net], ris[net], useful[net], useless[net], active[net]
+            )
+        else:
+            act.merge(
+                NodeActivity(
+                    tog[net], ris[net], useful[net], useless[net],
+                    active[net],
+                )
+            )
     return result
 
 
@@ -232,9 +275,16 @@ class ActivityRun:
         resolution no glitch can be observed, so the classification
         would be vacuously "all useful" and silently wrong.
     backend:
-        ``"event"`` (exact, glitch-aware — the default) or
-        ``"bitparallel"`` (zero-delay batch engine: fast, counts only
-        settled-value i.e. useful activity).
+        ``"event"`` (exact, glitch-aware — the default),
+        ``"waveform"`` (glitch-exact batch engine, bit-identical
+        aggregates at a fraction of the cost), ``"bitparallel"``
+        (zero-delay batch engine: fastest, counts only settled-value
+        i.e. useful activity), or ``"auto"`` — resolve per
+        :func:`repro.sim.backends.select_backend`: waveform for
+        aggregate glitch-exact analysis, bit-parallel when an explicit
+        :class:`~repro.sim.delays.ZeroDelay` model is given.
+        Per-cycle traces (:meth:`step_traces`) always use the
+        event-driven engine — the only one that produces them.
     monitor:
         Optional net indices to restrict accounting to; defaults to all
         cell-driven nets.
@@ -248,6 +298,8 @@ class ActivityRun:
         monitor: Iterable[int] | None = None,
     ) -> None:
         self.circuit = circuit
+        if backend == AUTO_BACKEND:
+            backend = select_backend(delay_model)
         self.backend_name = canonical_backend(backend)
         self.monitor = None if monitor is None else list(monitor)
         if not BACKENDS[self.backend_name].exact_glitches:
@@ -392,18 +444,28 @@ class ActivityRun:
         self,
         vectors: Iterable[Sequence[int] | Mapping[int, int]],
         warmup: Sequence[int] | Mapping[int, int] | None = None,
+        record_events: bool = False,
     ) -> List[CycleTrace]:
-        """Raw per-cycle traces (event-driven backend only).
+        """Raw per-cycle traces (always via the event-driven engine).
 
         For callers that need single-cycle detail — worst-case stimuli,
-        VCD export — rather than aggregated statistics.
+        VCD export — rather than aggregated statistics.  Only the
+        event-driven engine produces traces, so this is the
+        ``"auto"`` policy's fallback path regardless of the session
+        backend (batch engines cannot, by construction).  Pass
+        ``record_events=True`` when the traces are destined for a VCD
+        dump (:func:`repro.sim.vcd.dump_vcd` requires it).
         """
         if self.delay_model is None:
             raise ValueError(
-                "per-cycle traces require the event-driven backend"
+                "per-cycle traces require an intra-cycle delay model; "
+                "the zero-delay bit-parallel session cannot produce "
+                "them — construct the run with the event-driven or "
+                "waveform backend"
             )
         sim = Simulator(
-            self.circuit, self.delay_model, monitor=self.monitor
+            self.circuit, self.delay_model, monitor=self.monitor,
+            record_events=record_events,
         )
         return sim.run(vectors, warmup=warmup)
 

@@ -40,6 +40,308 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sim.delays import DelayModel
 
 
+# ---------------------------------------------------------------------------
+# Kind-specialized fused evaluators
+# ---------------------------------------------------------------------------
+#
+# The generic evaluation pattern — ``ins = [values[n] for n in nets];
+# outs = evaluator(ins)`` — allocates one throwaway list per cell per
+# evaluation, which the timed backends pay millions of times per run.
+# A *fused* evaluator captures the cell's input net indices at compile
+# time and reads the flat ``values`` array directly, with a branch-free
+# bitop body specialized per (kind, arity).  Cells outside the
+# specialization table fall back to the generic list-building form, so
+# every kind keeps working.
+
+def _fuse_generic(evaluator, nets):
+    def f(values, _e=evaluator, _n=nets):
+        return _e([values[n] for n in _n])
+    return f
+
+
+def _fuse_cell(
+    kind: CellKind, nets: Tuple[int, ...]
+) -> Callable[[Sequence[int]], Tuple[int, ...]]:
+    """Build the fused evaluator for one cell instance."""
+    n = len(nets)
+    if kind is CellKind.CONST0:
+        return lambda values: (0,)
+    if kind is CellKind.CONST1:
+        return lambda values: (1,)
+    if kind is CellKind.BUF:
+        a, = nets
+        return lambda values, _a=a: (values[_a],)
+    if kind is CellKind.NOT:
+        a, = nets
+        return lambda values, _a=a: (values[_a] ^ 1,)
+    if kind is CellKind.MUX2:
+        s, a, b = nets
+        # 0/1-domain branch-free select: a when s == 0, b when s == 1.
+        return lambda values, _s=s, _a=a, _b=b: (
+            values[_a] ^ ((values[_a] ^ values[_b]) & values[_s]),
+        )
+    if kind is CellKind.HA:
+        a, b = nets
+        def f_ha(values, _a=a, _b=b):
+            x, y = values[_a], values[_b]
+            return (x ^ y, x & y)
+        return f_ha
+    if kind is CellKind.FA:
+        a, b, c = nets
+        def f_fa(values, _a=a, _b=b, _c=c):
+            x, y, z = values[_a], values[_b], values[_c]
+            p = x ^ y
+            return (p ^ z, (x & y) | (z & p))
+        return f_fa
+    if kind in (CellKind.AND, CellKind.NAND):
+        inv = 1 if kind is CellKind.NAND else 0
+        if n == 2:
+            a, b = nets
+            return lambda values, _a=a, _b=b, _i=inv: (
+                (values[_a] & values[_b]) ^ _i,
+            )
+        if n == 3:
+            a, b, c = nets
+            return lambda values, _a=a, _b=b, _c=c, _i=inv: (
+                (values[_a] & values[_b] & values[_c]) ^ _i,
+            )
+        def f_and(values, _n=nets, _i=inv):
+            out = 1
+            for net in _n:
+                out &= values[net]
+            return (out ^ _i,)
+        return f_and
+    if kind in (CellKind.OR, CellKind.NOR):
+        inv = 1 if kind is CellKind.NOR else 0
+        if n == 2:
+            a, b = nets
+            return lambda values, _a=a, _b=b, _i=inv: (
+                (values[_a] | values[_b]) ^ _i,
+            )
+        if n == 3:
+            a, b, c = nets
+            return lambda values, _a=a, _b=b, _c=c, _i=inv: (
+                (values[_a] | values[_b] | values[_c]) ^ _i,
+            )
+        def f_or(values, _n=nets, _i=inv):
+            out = 0
+            for net in _n:
+                out |= values[net]
+            return (out ^ _i,)
+        return f_or
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        inv = 1 if kind is CellKind.XNOR else 0
+        if n == 2:
+            a, b = nets
+            return lambda values, _a=a, _b=b, _i=inv: (
+                values[_a] ^ values[_b] ^ _i,
+            )
+        if n == 3:
+            a, b, c = nets
+            return lambda values, _a=a, _b=b, _c=c, _i=inv: (
+                values[_a] ^ values[_b] ^ values[_c] ^ _i,
+            )
+        def f_xor(values, _n=nets, _i=inv):
+            out = _i
+            for net in _n:
+                out ^= values[net]
+            return (out,)
+        return f_xor
+    return _fuse_generic(_EVALUATORS[kind], nets)
+
+
+# ---------------------------------------------------------------------------
+# Fused bitwise (lane-packed) kernels
+# ---------------------------------------------------------------------------
+#
+# The same fusion idea applied to *bitmask* evaluation: one integer per
+# net, each bit one independent lane, inversions against an explicit
+# lane mask.  The bit-parallel backend packs one clock cycle per lane;
+# the waveform backend packs one intra-cycle event time per lane — both
+# evaluate every cell exactly once per batch through these kernels.
+
+def _bits_const0(ins, mask):
+    return (0,)
+
+
+def _bits_const1(ins, mask):
+    return (mask,)
+
+
+def _bits_buf(ins, mask):
+    return (ins[0],)
+
+
+def _bits_not(ins, mask):
+    return (ins[0] ^ mask,)
+
+
+def _bits_and(ins, mask):
+    out = mask
+    for v in ins:
+        out &= v
+    return (out,)
+
+
+def _bits_or(ins, mask):
+    out = 0
+    for v in ins:
+        out |= v
+    return (out,)
+
+
+def _bits_nand(ins, mask):
+    return (_bits_and(ins, mask)[0] ^ mask,)
+
+
+def _bits_nor(ins, mask):
+    return (_bits_or(ins, mask)[0] ^ mask,)
+
+
+def _bits_xor(ins, mask):
+    out = 0
+    for v in ins:
+        out ^= v
+    return (out,)
+
+
+def _bits_xnor(ins, mask):
+    return (_bits_xor(ins, mask)[0] ^ mask,)
+
+
+def _bits_mux2(ins, mask):
+    sel, a, b = ins
+    return (a ^ ((a ^ b) & sel),)
+
+
+def _bits_ha(ins, mask):
+    a, b = ins
+    return (a ^ b, a & b)
+
+
+def _bits_fa(ins, mask):
+    a, b, cin = ins
+    p = a ^ b
+    return (p ^ cin, (a & b) | (cin & p))
+
+
+#: Generic bitwise evaluators by kind (fallback for the fused forms).
+#: ``DFF`` maps to its transparent (buffer) view; neither backend ever
+#: evaluates a sequential cell through these.
+_BIT_EVALUATORS = {
+    CellKind.CONST0: _bits_const0,
+    CellKind.CONST1: _bits_const1,
+    CellKind.BUF: _bits_buf,
+    CellKind.NOT: _bits_not,
+    CellKind.AND: _bits_and,
+    CellKind.OR: _bits_or,
+    CellKind.NAND: _bits_nand,
+    CellKind.NOR: _bits_nor,
+    CellKind.XOR: _bits_xor,
+    CellKind.XNOR: _bits_xnor,
+    CellKind.MUX2: _bits_mux2,
+    CellKind.HA: _bits_ha,
+    CellKind.FA: _bits_fa,
+    CellKind.DFF: _bits_buf,
+}
+
+
+def _fuse_bits_generic(evaluator, nets):
+    def f(bits, mask, _e=evaluator, _n=nets):
+        return _e([bits[n] for n in _n], mask)
+    return f
+
+
+def _fuse_bits(
+    kind: CellKind, nets: Tuple[int, ...]
+) -> Callable[[Sequence[int], int], Tuple[int, ...]]:
+    """Build the fused bitmask kernel for one cell instance."""
+    n = len(nets)
+    if kind is CellKind.CONST0:
+        return lambda bits, mask: (0,)
+    if kind is CellKind.CONST1:
+        return lambda bits, mask: (mask,)
+    if kind in (CellKind.BUF, CellKind.DFF):
+        a, = nets
+        return lambda bits, mask, _a=a: (bits[_a],)
+    if kind is CellKind.NOT:
+        a, = nets
+        return lambda bits, mask, _a=a: (bits[_a] ^ mask,)
+    if kind is CellKind.MUX2:
+        s, a, b = nets
+        return lambda bits, mask, _s=s, _a=a, _b=b: (
+            bits[_a] ^ ((bits[_a] ^ bits[_b]) & bits[_s]),
+        )
+    if kind is CellKind.HA:
+        a, b = nets
+        def f_ha(bits, mask, _a=a, _b=b):
+            x, y = bits[_a], bits[_b]
+            return (x ^ y, x & y)
+        return f_ha
+    if kind is CellKind.FA:
+        a, b, c = nets
+        def f_fa(bits, mask, _a=a, _b=b, _c=c):
+            x, y, z = bits[_a], bits[_b], bits[_c]
+            p = x ^ y
+            return (p ^ z, (x & y) | (z & p))
+        return f_fa
+    if kind in (CellKind.AND, CellKind.NAND):
+        invert = kind is CellKind.NAND
+        if n == 2:
+            a, b = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b: (
+                    (bits[_a] & bits[_b]) ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b: (bits[_a] & bits[_b],)
+        if n == 3:
+            a, b, c = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b, _c=c: (
+                    (bits[_a] & bits[_b] & bits[_c]) ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b, _c=c: (
+                bits[_a] & bits[_b] & bits[_c],
+            )
+    if kind in (CellKind.OR, CellKind.NOR):
+        invert = kind is CellKind.NOR
+        if n == 2:
+            a, b = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b: (
+                    (bits[_a] | bits[_b]) ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b: (bits[_a] | bits[_b],)
+        if n == 3:
+            a, b, c = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b, _c=c: (
+                    (bits[_a] | bits[_b] | bits[_c]) ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b, _c=c: (
+                bits[_a] | bits[_b] | bits[_c],
+            )
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        invert = kind is CellKind.XNOR
+        if n == 2:
+            a, b = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b: (
+                    bits[_a] ^ bits[_b] ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b: (bits[_a] ^ bits[_b],)
+        if n == 3:
+            a, b, c = nets
+            if invert:
+                return lambda bits, mask, _a=a, _b=b, _c=c: (
+                    bits[_a] ^ bits[_b] ^ bits[_c] ^ mask,
+                )
+            return lambda bits, mask, _a=a, _b=b, _c=c: (
+                bits[_a] ^ bits[_b] ^ bits[_c],
+            )
+    return _fuse_bits_generic(_BIT_EVALUATORS[kind], nets)
+
+
 @dataclass(frozen=True)
 class CompiledCircuit:
     """Flat arrays mirroring one :class:`Circuit` at one version.
@@ -59,6 +361,16 @@ class CompiledCircuit:
     cell_inputs: Tuple[Tuple[int, ...], ...]
     cell_outputs: Tuple[Tuple[int, ...], ...]
     cell_eval: Tuple[Callable[[Sequence[int]], Tuple[int, ...]], ...]
+    #: Per-cell fused kernels (see :func:`_fuse_cell`): read the flat
+    #: ``values`` array directly via captured net indices — no
+    #: per-evaluation input-list allocation.  Shared by both timed
+    #: backends and :meth:`evaluate_flat`.
+    cell_eval_fused: Tuple[Callable[[Sequence[int]], Tuple[int, ...]], ...]
+    #: Per-cell fused bitmask kernels (see :func:`_fuse_bits`): same
+    #: fusion over a per-net integer-bitmask array, one independent
+    #: lane per bit.  The bit-parallel backend packs clock cycles into
+    #: lanes; the waveform backend packs intra-cycle event times.
+    cell_eval_bits: Tuple[Callable[[Sequence[int], int], Tuple[int, ...]], ...]
     cell_is_seq: Tuple[bool, ...]
     comb_fanout: Tuple[Tuple[int, ...], ...]
     topo: Tuple[int, ...]
@@ -92,18 +404,70 @@ class CompiledCircuit:
             values[net] = int(bool(v))
         for i, ci in enumerate(self.ff_cells):
             values[self.ff_q[i]] = state.get(ci, 0)
-        cell_inputs = self.cell_inputs
         cell_outputs = self.cell_outputs
-        cell_eval = self.cell_eval
+        fused = self.cell_eval_fused
         for ci in self.topo:
-            ins = [values[n] for n in cell_inputs[ci]]
-            outs = cell_eval[ci](ins)
+            outs = fused[ci](values)
             for out_net, v in zip(cell_outputs[ci], outs):
                 values[out_net] = v
         next_state = {
             ci: values[self.ff_d[i]] for i, ci in enumerate(self.ff_cells)
         }
         return values, next_state
+
+
+def settle_lanes(
+    cc: CompiledCircuit,
+    net_bits: List[int],
+    mask: int,
+    base_values: Sequence[int],
+) -> List[int]:
+    """Zero-delay settle of a lane-packed batch, in place.
+
+    *net_bits* holds one integer bitmask per net with the primary-input
+    lanes already filled (bit *k* = value in lane *k*); *mask* selects
+    the active lanes; *base_values* are the settled values before the
+    batch (used to seed flipflop outputs).  On return every driven
+    net's mask holds its settled value per lane, including flipflop
+    ``q`` nets, whose cross-lane dependency ``q[k] = d[k-1]`` is
+    resolved by fixpoint iteration (each pass extends the correct
+    prefix by at least one register stage).
+
+    Returns the converged ``q`` lane masks, parallel to
+    :attr:`CompiledCircuit.ff_cells`.  Shared by the bit-parallel
+    backend (lane = clock cycle) and the waveform backend's settled
+    pre-pass.
+    """
+    kernels = cc.cell_eval_bits
+    cell_outputs = cc.cell_outputs
+    topo = cc.topo
+    ff_cells, ff_d, ff_q = cc.ff_cells, cc.ff_d, cc.ff_q
+    if not ff_cells:
+        for ci in topo:
+            outs = kernels[ci](net_bits, mask)
+            for out_net, v in zip(cell_outputs[ci], outs):
+                net_bits[out_net] = v
+        return []
+    nbits = mask.bit_length()
+    q_init = [base_values[d] & 1 for d in ff_d]
+    q_bits = list(q_init)
+    for _ in range(nbits + 1):
+        for i, qn in enumerate(ff_q):
+            net_bits[qn] = q_bits[i]
+        for ci in topo:
+            outs = kernels[ci](net_bits, mask)
+            for out_net, v in zip(cell_outputs[ci], outs):
+                net_bits[out_net] = v
+        new_q = [
+            ((net_bits[ff_d[i]] << 1) | q_init[i]) & mask
+            for i in range(len(ff_cells))
+        ]
+        if new_q == q_bits:
+            return q_bits
+        q_bits = new_q
+    raise RuntimeError(  # pragma: no cover - mathematically unreachable
+        "flipflop fixpoint did not converge"
+    )
 
 
 #: circuit -> {delay cache token -> CompiledCircuit}
@@ -143,6 +507,8 @@ def _build(
     cell_inputs = []
     cell_outputs = []
     cell_eval = []
+    cell_eval_fused = []
+    cell_eval_bits = []
     cell_is_seq = []
     ff_cells: List[int] = []
     ff_d: List[int] = []
@@ -156,6 +522,8 @@ def _build(
         cell_inputs.append(cell.inputs)
         cell_outputs.append(cell.outputs)
         cell_eval.append(_EVALUATORS[cell.kind])
+        cell_eval_fused.append(_fuse_cell(cell.kind, cell.inputs))
+        cell_eval_bits.append(_fuse_bits(cell.kind, cell.inputs))
         seq = cell.is_sequential
         cell_is_seq.append(seq)
         if seq:
@@ -189,6 +557,8 @@ def _build(
         cell_inputs=tuple(cell_inputs),
         cell_outputs=tuple(cell_outputs),
         cell_eval=tuple(cell_eval),
+        cell_eval_fused=tuple(cell_eval_fused),
+        cell_eval_bits=tuple(cell_eval_bits),
         cell_is_seq=tuple(cell_is_seq),
         comb_fanout=tuple(comb_fanout),
         topo=tuple(c.index for c in circuit.topological_cells()),

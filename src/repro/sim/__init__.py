@@ -1,20 +1,27 @@
 """Gate/cell-level logic simulation with pluggable backends.
 
-Two engines run a :class:`~repro.netlist.circuit.Circuit` over the
+Three engines run a :class:`~repro.netlist.circuit.Circuit` over the
 shared compiled IR (:mod:`repro.netlist.compiled`), behind the common
 :class:`~repro.sim.backends.SimBackend` protocol:
 
 * the **event-driven** engine (:mod:`repro.sim.engine`) propagates
   value changes in integer "delta time" within each clock cycle
   (transport delay, last-write-wins per net and time slot), exactly
-  the delta-time model of the paper's Figure 3 — glitches observable;
+  the delta-time model of the paper's Figure 3 — glitches observable,
+  per-cycle traces and VCD recording available;
+* the **waveform** engine (:mod:`repro.sim.waveform`) packs whole
+  timed waveforms into per-net integer bitmasks (one lane per cycle ×
+  delta time) and evaluates each cell once per batch — aggregated
+  activity bit-identical to the event-driven engine, several times
+  faster;
 * the **bit-parallel** engine (:mod:`repro.sim.backends`) packs many
   cycles into per-net integer bitmasks for fast zero-delay functional
   simulation and useful-activity estimation.
 
-Delay models are pluggable (:mod:`repro.sim.delays`), enabling the
-paper's unit-delay experiments (Table 1) and the ``dsum = 2*dcarry``
-refinement (Table 2) without touching the netlist.
+:func:`~repro.sim.backends.select_backend` maps the ``"auto"`` policy
+onto this menu.  Delay models are pluggable (:mod:`repro.sim.delays`),
+enabling the paper's unit-delay experiments (Table 1) and the
+``dsum = 2*dcarry`` refinement (Table 2) without touching the netlist.
 """
 
 from repro.sim.delays import (
@@ -31,9 +38,11 @@ from repro.sim.backends import (
     SimBackend,
     RunStats,
     EventDrivenBackend,
+    WaveformBackend,
     BitParallelBackend,
     canonical_backend,
     get_backend,
+    select_backend,
 )
 from repro.sim.vectors import (
     WordStimulus,
@@ -57,9 +66,11 @@ __all__ = [
     "SimBackend",
     "RunStats",
     "EventDrivenBackend",
+    "WaveformBackend",
     "BitParallelBackend",
     "canonical_backend",
     "get_backend",
+    "select_backend",
     "WordStimulus",
     "random_words",
     "correlated_words",

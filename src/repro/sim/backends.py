@@ -1,6 +1,6 @@
 """Pluggable simulation backends over the compiled circuit IR.
 
-Both backends implement the :class:`SimBackend` protocol — construct
+Every backend implements the :class:`SimBackend` protocol — construct
 with a circuit (plus options), call :meth:`run` with a vector stream,
 get back aggregated per-net :class:`RunStats` — so the activity layer
 (:class:`repro.core.activity.ActivityRun`) can swap engines without
@@ -9,7 +9,16 @@ touching consumers:
 * :class:`EventDrivenBackend` — the exact transport-delay engine
   (:class:`repro.sim.engine.Simulator`): intra-cycle delta timing,
   glitches observable, per-cycle parity classification of useful vs
-  useless transitions.  The reference for every paper number.
+  useless transitions.  The reference for every paper number, and the
+  only engine that produces per-cycle traces and recorded events
+  (VCD).
+* :class:`~repro.sim.waveform.WaveformBackend` — glitch-exact batch
+  engine: packs whole timed waveforms (cycle × delta-time lanes) into
+  per-net integer bitmasks and evaluates each cell once per batch
+  through the compiled IR's fused bitmask kernels.  Aggregated
+  :class:`RunStats` are **bit-identical** to the event-driven backend
+  at a fraction of the cost — the default choice for glitch-exact
+  activity analysis (see :func:`select_backend`).
 * :class:`BitParallelBackend` — zero-delay batch evaluation that packs
   many clock cycles into single Python-int bitmasks per net and
   evaluates each gate once per batch with bitwise operators.  Glitches
@@ -19,12 +28,17 @@ touching consumers:
   estimation; its per-net toggle counts equal the event-driven
   backend's per-net *useful* counts exactly.
 
-Both accept an explicit starting point (``initial_values`` +
+All backends accept an explicit starting point (``initial_values`` +
 ``initial_ff_state``), which is what makes exact vector-stream sharding
 possible: a shard's boundary state is computed cheaply with the
-bit-parallel backend and handed to an event-driven shard worker, whose
-traces are then bit-identical to an unsharded run (settled values
-provably equal zero-delay evaluation).
+bit-parallel backend and handed to an event-driven or waveform shard
+worker, whose traces are then bit-identical to an unsharded run
+(settled values provably equal zero-delay evaluation).
+
+:func:`select_backend` implements the ``"auto"`` policy used by the
+session API and the CLI: waveform for aggregate glitch-exact runs,
+event-driven whenever traces/VCD recording are requested, bit-parallel
+for explicit zero-delay runs.
 """
 
 from __future__ import annotations
@@ -33,9 +47,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.core.transitions import NodeActivity
-from repro.netlist.cells import CellKind
 from repro.netlist.circuit import Circuit
-from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.netlist.compiled import (
+    CompiledCircuit,
+    compile_circuit,
+    settle_lanes,
+)
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 from repro.sim.engine import Simulator
 
@@ -179,89 +196,6 @@ class EventDrivenBackend:
 # Bit-parallel zero-delay evaluation
 # ---------------------------------------------------------------------------
 
-def _bits_const0(ins, mask):
-    return (0,)
-
-
-def _bits_const1(ins, mask):
-    return (mask,)
-
-
-def _bits_buf(ins, mask):
-    return (ins[0],)
-
-
-def _bits_not(ins, mask):
-    return (ins[0] ^ mask,)
-
-
-def _bits_and(ins, mask):
-    out = mask
-    for v in ins:
-        out &= v
-    return (out,)
-
-
-def _bits_or(ins, mask):
-    out = 0
-    for v in ins:
-        out |= v
-    return (out,)
-
-
-def _bits_nand(ins, mask):
-    return (_bits_and(ins, mask)[0] ^ mask,)
-
-
-def _bits_nor(ins, mask):
-    return (_bits_or(ins, mask)[0] ^ mask,)
-
-
-def _bits_xor(ins, mask):
-    out = 0
-    for v in ins:
-        out ^= v
-    return (out,)
-
-
-def _bits_xnor(ins, mask):
-    return (_bits_xor(ins, mask)[0] ^ mask,)
-
-
-def _bits_mux2(ins, mask):
-    sel, a, b = ins
-    return (a ^ ((a ^ b) & sel),)
-
-
-def _bits_ha(ins, mask):
-    a, b = ins
-    return (a ^ b, a & b)
-
-
-def _bits_fa(ins, mask):
-    a, b, cin = ins
-    p = a ^ b
-    return (p ^ cin, (a & b) | (cin & p))
-
-
-#: Bitwise (cycle-packed) evaluators, one lane per clock cycle.
-_BIT_EVALUATORS = {
-    CellKind.CONST0: _bits_const0,
-    CellKind.CONST1: _bits_const1,
-    CellKind.BUF: _bits_buf,
-    CellKind.NOT: _bits_not,
-    CellKind.AND: _bits_and,
-    CellKind.OR: _bits_or,
-    CellKind.NAND: _bits_nand,
-    CellKind.NOR: _bits_nor,
-    CellKind.XOR: _bits_xor,
-    CellKind.XNOR: _bits_xnor,
-    CellKind.MUX2: _bits_mux2,
-    CellKind.HA: _bits_ha,
-    CellKind.FA: _bits_fa,
-}
-
-
 class BitParallelBackend:
     """Zero-delay batch backend: one int bitmask per net, B cycles deep.
 
@@ -308,24 +242,6 @@ class BitParallelBackend:
         else:
             self._monitor = list(monitor)
         self.batch_cycles = batch_cycles
-        self._bit_eval = [
-            _BIT_EVALUATORS.get(kind) for kind in self._cc.cell_kinds
-        ]
-
-    # ------------------------------------------------------------------
-    def _eval_batch(
-        self, net_bits: List[int], mask: int
-    ) -> None:
-        """One zero-delay pass over the combinational logic, in place."""
-        cc = self._cc
-        cell_inputs = cc.cell_inputs
-        cell_outputs = cc.cell_outputs
-        evals = self._bit_eval
-        for ci in cc.topo:
-            ins = [net_bits[n] for n in cell_inputs[ci]]
-            outs = evals[ci](ins, mask)
-            for out_net, v in zip(cell_outputs[ci], outs):
-                net_bits[out_net] = v
 
     def run(
         self,
@@ -364,7 +280,7 @@ class BitParallelBackend:
 
         stats = RunStats()
         per_node = stats.per_node
-        ff_cells, ff_d, ff_q = cc.ff_cells, cc.ff_d, cc.ff_q
+        ff_cells = cc.ff_cells
         monitor = self._monitor
         B = self.batch_cycles
 
@@ -393,28 +309,11 @@ class BitParallelBackend:
                     stream |= batch[k][pos] << k
                 net_bits[net] = stream
 
-            if ff_cells:
-                # q[0] comes from the D value settled before this batch;
-                # within the batch, q[k] = d[k-1].  Iterate to fixpoint.
-                q_init = [values[d] & 1 for d in ff_d]
-                q_bits = list(q_init)
-                for _ in range(nbits + 1):
-                    for i, qn in enumerate(ff_q):
-                        net_bits[qn] = q_bits[i]
-                    self._eval_batch(net_bits, mask)
-                    new_q = [
-                        ((net_bits[ff_d[i]] << 1) | q_init[i]) & mask
-                        for i in range(len(ff_cells))
-                    ]
-                    if new_q == q_bits:
-                        break
-                    q_bits = new_q
-                else:  # pragma: no cover - mathematically unreachable
-                    raise RuntimeError("flipflop fixpoint did not converge")
-                for i, ci in enumerate(ff_cells):
-                    state[ci] = (q_bits[i] >> top) & 1
-            else:
-                self._eval_batch(net_bits, mask)
+            # Zero-delay settle via the shared fused-kernel helper; the
+            # flipflop recurrence q[k] = d[k-1] is fixpoint-resolved.
+            q_bits = settle_lanes(cc, net_bits, mask, values)
+            for i, ci in enumerate(ff_cells):
+                state[ci] = (q_bits[i] >> top) & 1
 
             for net in monitor:
                 s = net_bits[net]
@@ -438,20 +337,51 @@ class BitParallelBackend:
         return stats
 
 
+from repro.sim.waveform import WaveformBackend  # noqa: E402  (cycle: waveform needs RunStats at run time)
+
 #: Registered backends, by canonical name (aliases resolved in
 #: :func:`get_backend`).
 BACKENDS = {
     EventDrivenBackend.name: EventDrivenBackend,
+    WaveformBackend.name: WaveformBackend,
     BitParallelBackend.name: BitParallelBackend,
 }
 
 _ALIASES = {
     "event": "event",
     "event-driven": "event",
+    "waveform": "waveform",
+    "wave": "waveform",
     "bitparallel": "bitparallel",
     "bit-parallel": "bitparallel",
     "batch": "bitparallel",
 }
+
+#: Pseudo-backend name resolved per run by :func:`select_backend`.
+AUTO_BACKEND = "auto"
+
+
+def select_backend(
+    delay_model: DelayModel | None = None,
+    record_events: bool = False,
+    want_traces: bool = False,
+) -> str:
+    """Resolve the ``"auto"`` backend policy to a concrete engine.
+
+    * per-cycle traces or recorded events (VCD dumps) need the
+      event-driven engine — nothing else produces them;
+    * an explicit :class:`~repro.sim.delays.ZeroDelay` model means no
+      glitch is observable anyway, so the bit-parallel batch engine is
+      both exact and by far the fastest;
+    * everything else — aggregate glitch-exact activity analysis, the
+      common case — goes to the waveform backend, which matches the
+      event-driven engine bit for bit at a fraction of the cost.
+    """
+    if record_events or want_traces:
+        return EventDrivenBackend.name
+    if delay_model is not None and isinstance(delay_model, ZeroDelay):
+        return BitParallelBackend.name
+    return WaveformBackend.name
 
 
 def canonical_backend(name: str) -> str:

@@ -211,8 +211,7 @@ class Simulator:
         wheel[0] = at0
         n_slots = 1
         comb_fanout = cc.comb_fanout
-        cell_inputs = cc.cell_inputs
-        cell_eval = cc.cell_eval
+        fused = cc.cell_eval_fused
         out_specs = cc.out_specs
         monitored = self._monitored
         toggles = trace.toggles
@@ -247,8 +246,7 @@ class Simulator:
             if any_change:
                 last_time = t
             for ci in affected:
-                ins = [values[n] for n in cell_inputs[ci]]
-                outs = cell_eval[ci](ins)
+                outs = fused[ci](values)
                 for (out_net, d), v in zip(out_specs[ci], outs):
                     widx = (t + d) % size
                     slot = wheel[widx]

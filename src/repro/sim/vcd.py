@@ -10,7 +10,7 @@ constructed with ``record_events=True``.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Sequence, TextIO
+from typing import Iterable, List, TextIO
 
 from repro.netlist.circuit import Circuit
 from repro.sim.engine import CycleTrace
@@ -77,8 +77,10 @@ class VcdWriter:
         """Append one cycle's events (requires ``record_events=True``)."""
         if trace.events is None:
             raise ValueError(
-                "trace has no events; construct the Simulator with "
-                "record_events=True"
+                f"cycle {trace.cycle} carries no recorded events, so "
+                "there is nothing to dump; construct the Simulator with "
+                "record_events=True (or request traces via "
+                "ActivityRun.step_traces(..., record_events=True))"
             )
         if trace.settle_time >= self.cycle_length:
             raise ValueError(
@@ -107,11 +109,26 @@ class VcdWriter:
 
 def dump_vcd(
     circuit: Circuit,
-    traces: Sequence[CycleTrace],
+    traces: Iterable[CycleTrace],
     cycle_length: int = 64,
     nets: Iterable[int] | None = None,
 ) -> str:
-    """Render *traces* to a VCD string (convenience wrapper)."""
+    """Render *traces* to a VCD string (convenience wrapper).
+
+    Raises ``ValueError`` up front when the traces carry no recorded
+    events — i.e. the simulator was built without
+    ``record_events=True`` — instead of failing midway (or, for an
+    all-empty sequence, silently producing an unusable dump).
+    """
+    traces = list(traces)
+    missing = [t.cycle for t in traces if t.events is None]
+    if missing:
+        raise ValueError(
+            f"cannot dump VCD: {len(missing)} of {len(traces)} traces "
+            f"(first: cycle {missing[0]}) carry no recorded events; "
+            "construct the Simulator with record_events=True (or use "
+            "ActivityRun.step_traces(..., record_events=True))"
+        )
     buf = io.StringIO()
     writer = VcdWriter(circuit, buf, cycle_length=cycle_length, nets=nets)
     for trace in traces:

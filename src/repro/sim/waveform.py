@@ -1,0 +1,362 @@
+"""Compiled waveform-propagation backend: glitch-exact batch simulation.
+
+The event-driven engine (:mod:`repro.sim.engine`) is exact but pays a
+heavy per-event toll: every applied change walks fanout lists, fills an
+``affected`` dict and writes timing-wheel slot dicts, and a cell whose
+inputs change at k distinct times is rediscovered — and re-evaluated —
+k times through that machinery.  For aggregate activity analysis none
+of that bookkeeping is needed: only the per-cycle transition multiset
+per net matters.
+
+:class:`WaveformBackend` computes exactly that by packing **entire
+timed waveforms into per-net integer bitmasks** and making one pass
+over the compiled IR's cached topological order per *batch* of clock
+cycles, evaluating each active cell exactly **once per batch**:
+
+1. Lane ``k*W + t`` of a net's mask holds its logic value at delta
+   time ``t`` of batch cycle ``k``, where ``W`` (the per-cycle time
+   axis) statically bounds the last possible event time, computed from
+   the IR's levelized delays.
+2. A zero-delay settled pre-pass (:func:`repro.netlist.compiled.
+   settle_lanes`, shared with the bit-parallel backend) yields every
+   net's settled value per cycle — by the engine-equivalence invariant
+   these equal the event engine's end-of-cycle values — and resolves
+   the flipflop recurrence.  Primary-input and flipflop-``q`` lanes
+   are constant within a cycle, so their waveform masks follow
+   directly; their cycle boundaries are the clock-edge events.
+3. For each cell with a toggling fan-in, the fused bitmask kernel
+   (:attr:`~repro.netlist.compiled.CompiledCircuit.cell_eval_bits`)
+   evaluates all lanes at once: ``raw`` bit ``k*W + t`` is the output
+   value implied by the inputs at time ``t`` of cycle ``k``.
+4. Transport delay is one shift: ``om = ((raw << d) | v0*dmask) &
+   full``.  The low ``d`` bits of each cycle block are *automatically*
+   filled with the previous cycle's settled output, because the bits
+   shifted in from the previous block's tail are evaluations of
+   already-settled inputs (guaranteed by the static bound ``W``); only
+   cycle 0 needs the explicit pre-batch seed ``v0``.  The applied
+   transitions then fall out of one more shift/XOR —
+   ``changed = om ^ (((om << 1) | v0) & full)`` — which is exactly the
+   event engine's application-time last-write-wins suppression, for
+   every cycle of the batch simultaneously.
+5. Per-net statistics are lane arithmetic: toggles and rises are
+   popcounts of ``changed`` (and ``changed & om``), per-cycle parity
+   classification follows from settled-value changes (a cycle's toggle
+   count is odd iff its settled value changed), and active-cycle
+   counts use a segmented OR-fold of ``changed`` onto each cycle
+   block's first lane.
+
+Why this is *bit-identical* to :class:`~repro.sim.engine.Simulator`
+(for delay models with all combinational delays >= 1, which the
+constructor enforces):
+
+* with delays >= 1, every event scheduled for time ``t`` is produced
+  while processing a strictly earlier time, so when the event engine
+  reaches ``t`` its wheel slot holds *all* changes for ``t`` — a cell
+  is evaluated at most once per distinct time with all same-time input
+  changes applied, which is precisely one lane of step 3 (lanes where
+  no input changed evaluate to the unchanged output and are suppressed
+  by step 4);
+* a net's single driver emits transitions at strictly increasing
+  times, so the shift/XOR change extraction equals the event engine's
+  application-time ``values[net] == v`` check, and transitions
+  alternate — making toggle counts, rises and parity exact;
+* settled values and flipflop state equal the zero-delay pre-pass by
+  the repo's settled-equivalence invariant (property-tested since the
+  seed).
+
+The property suite in ``tests/test_sim_waveform.py`` asserts equality
+of whole :class:`~repro.sim.backends.RunStats` objects against the
+event-driven reference on random circuits × random delay models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.transitions import NodeActivity
+from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import (
+    CompiledCircuit,
+    compile_circuit,
+    settle_lanes,
+)
+from repro.sim.delays import DelayModel, UnitDelay
+
+
+class WaveformBackend:
+    """Glitch-exact waveform-propagation backend.
+
+    Satisfies the :class:`~repro.sim.backends.SimBackend` protocol.
+    Use it wherever aggregated, glitch-exact activity is wanted fast;
+    use the event-driven backend when per-cycle traces or recorded
+    events (VCD) are needed.
+
+    Parameters mirror :class:`~repro.sim.backends.EventDrivenBackend`,
+    plus ``batch_cycles`` — how many clock cycles are packed into one
+    set of lane masks (results are invariant under the choice).
+
+    Delay models must give every combinational cell output a delay
+    >= 1: a zero intra-cycle delay collapses cause and effect into one
+    delta and makes the event engine re-evaluate cells within a single
+    time step, which a one-pass formulation cannot (and should not)
+    reproduce — use the bit-parallel backend for zero-delay runs.
+    """
+
+    name = "waveform"
+    exact_glitches = True
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_model: DelayModel | None = None,
+        monitor: Iterable[int] | None = None,
+        batch_cycles: int = 32,
+    ) -> None:
+        if batch_cycles < 1:
+            raise ValueError("batch_cycles must be >= 1")
+        self.circuit = circuit
+        self.delay_model = delay_model or UnitDelay()
+        self.batch_cycles = batch_cycles
+        cc: CompiledCircuit = compile_circuit(circuit, self.delay_model)
+        self._cc = cc
+        # Levelize: latest possible event time per net, which bounds
+        # the per-cycle time axis W.  Also rejects sub-unit delays.
+        level = [0] * cc.n_nets
+        for ci in cc.topo:
+            arrival = 0
+            for n in cc.cell_inputs[ci]:
+                if level[n] > arrival:
+                    arrival = level[n]
+            for out_net, d in cc.out_specs[ci]:
+                if d < 1:
+                    raise ValueError(
+                        f"the waveform backend requires combinational "
+                        f"delays >= 1, but {self.delay_model.describe()!r} "
+                        f"gives cell {circuit.cells[ci].name!r} a delay of "
+                        f"{d}; use the bit-parallel backend for "
+                        "zero-delay simulation"
+                    )
+                if arrival + d > level[out_net]:
+                    level[out_net] = arrival + d
+        self._W = (max(level) if level else 0) + 1
+        if monitor is None:
+            monitored = list(cc.driven)
+        else:
+            monitored = [False] * cc.n_nets
+            for n in monitor:
+                monitored[n] = True
+        self._monitored = monitored
+
+    # ------------------------------------------------------------------
+    def _batch_consts(self, nb: int) -> Tuple:
+        """Lane-geometry constants for a batch of *nb* cycles."""
+        W = self._W
+        wmask = (1 << W) - 1
+        full = (1 << (nb * W)) - 1
+        blockstart = 0
+        for k in range(nb):
+            blockstart |= 1 << (k * W)
+        # Segmented OR-fold schedule: masks confine each shift to its
+        # own cycle block, so after the last fold the first lane of
+        # every block holds the OR of the whole block.
+        fold = []
+        sh = 1
+        while sh < W:
+            fold.append((sh, blockstart * (wmask >> sh)))
+            sh <<= 1
+        return wmask, full, blockstart, fold
+
+    def run(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+        initial_values: Sequence[int] | None = None,
+        initial_ff_state: Mapping[int, int] | None = None,
+    ) -> "RunStats":
+        """Simulate *vectors* and return aggregated activity.
+
+        Warm-up/initial-state semantics are identical to
+        :class:`~repro.sim.backends.EventDrivenBackend`: the first
+        vector settles the network functionally (uncounted) unless an
+        exact ``initial_values`` snapshot resumes a stream mid-way.
+        """
+        from repro.sim.backends import RunStats, _resolve_vector
+
+        cc = self._cc
+        n_nets = cc.n_nets
+        inputs = cc.inputs
+        input_set = cc.input_set
+        ff_state: Dict[int, int] = dict.fromkeys(cc.ff_cells, 0)
+        if initial_ff_state:
+            ff_state.update(initial_ff_state)
+        if initial_values is not None:
+            values = list(initial_values)
+        else:
+            values = [0] * n_nets
+        cur_inputs = [values[net] for net in inputs]
+
+        it = iter(vectors)
+        if initial_values is None:
+            if warmup is None:
+                try:
+                    warmup = next(it)
+                except StopIteration:
+                    return RunStats(
+                        final_values=values, final_ff_state=ff_state
+                    )
+            full_vec = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full_vec, ff_state)
+        elif warmup is not None:
+            full_vec = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full_vec, ff_state)
+
+        stats = RunStats()
+        n_cells = len(cc.cell_kinds)
+        comb_fanout = cc.comb_fanout
+        cell_inputs = cc.cell_inputs
+        out_specs = cc.out_specs
+        kernels = cc.cell_eval_bits
+        topo = cc.topo
+        ff_cells, ff_q = cc.ff_cells, cc.ff_q
+        monitored = self._monitored
+        W = self._W
+        B = self.batch_cycles
+
+        # Flat per-net accumulators — folded into NodeActivity records
+        # once at the end, instead of per-cycle dict+object churn.
+        acc_tog = [0] * n_nets
+        acc_rise = [0] * n_nets
+        acc_useful = [0] * n_nets
+        acc_useless = [0] * n_nets
+        acc_active = [0] * n_nets
+
+        #: per-net waveform lane masks (valid where touched is set)
+        wbits = [0] * n_nets
+        touched = bytearray(n_nets)
+        consts = None
+        last_nb = 0
+        cycles = 0
+
+        batch: List[List[int]] = []
+        exhausted = False
+        while not exhausted:
+            batch.clear()
+            for vec in it:
+                batch.append(
+                    _resolve_vector(vec, inputs, input_set, cur_inputs)
+                )
+                if len(batch) == B:
+                    break
+            else:
+                exhausted = True
+            if not batch:
+                break
+            nb = len(batch)
+            if nb != last_nb:
+                consts = self._batch_consts(nb)
+                last_nb = nb
+            wmask, full, blockstart, fold = consts
+            cy_mask = (1 << nb) - 1
+            top = nb - 1
+
+            # --- settled pre-pass: zero-delay lanes, one per cycle ----
+            slanes = [0] * n_nets
+            for pos, net in enumerate(inputs):
+                stream = 0
+                for k in range(nb):
+                    stream |= batch[k][pos] << k
+                slanes[net] = stream
+            q_lanes = settle_lanes(cc, slanes, cy_mask, values)
+
+            # --- seed waveforms: clock edge + new primary inputs ------
+            # Inputs and flipflop q outputs hold one value per cycle
+            # (lanes *s*); a changed value is that cycle's time-0
+            # event, and every such change is one useful transition.
+            touched[:] = bytes(n_nets)
+            dirty = bytearray(n_cells)
+
+            def seed_edge_net(net, s):
+                ch = (s ^ ((s << 1) | values[net])) & cy_mask
+                if not ch:
+                    return
+                sp = 0
+                x = s
+                while x:
+                    low = x & -x
+                    sp |= 1 << ((low.bit_length() - 1) * W)
+                    x ^= low
+                wbits[net] = sp * wmask
+                touched[net] = 1
+                for cj in comb_fanout[net]:
+                    dirty[cj] = 1
+                if monitored[net]:
+                    tog = ch.bit_count()
+                    acc_tog[net] += tog
+                    acc_rise[net] += (ch & s).bit_count()
+                    acc_useful[net] += tog
+                    acc_active[net] += tog
+
+            for net in inputs:
+                seed_edge_net(net, slanes[net])
+            for i, ci in enumerate(ff_cells):
+                seed_edge_net(ff_q[i], q_lanes[i])
+
+            # --- one pass over the topological order ------------------
+            for ci in topo:
+                if not dirty[ci]:
+                    continue
+                for n in cell_inputs[ci]:
+                    if not touched[n]:
+                        # No event in the whole batch: constant value.
+                        wbits[n] = full if values[n] else 0
+                        touched[n] = 1
+                outs = kernels[ci](wbits, full)
+                pos = 0
+                for out_net, d in out_specs[ci]:
+                    raw = outs[pos]
+                    pos += 1
+                    v0 = values[out_net]
+                    if v0:
+                        om = ((raw << d) | ((1 << d) - 1)) & full
+                        changed = om ^ (((om << 1) | 1) & full)
+                    else:
+                        om = (raw << d) & full
+                        changed = om ^ ((om << 1) & full)
+                    if not changed:
+                        continue
+                    wbits[out_net] = om
+                    touched[out_net] = 1
+                    for cj in comb_fanout[out_net]:
+                        dirty[cj] = 1
+                    if monitored[out_net]:
+                        tog = changed.bit_count()
+                        acc_tog[out_net] += tog
+                        s = slanes[out_net]
+                        sch = (s ^ ((s << 1) | v0)) & cy_mask
+                        u = sch.bit_count()
+                        acc_rise[out_net] += (changed & om).bit_count()
+                        acc_useful[out_net] += u
+                        acc_useless[out_net] += tog - u
+                        m = changed
+                        for sh, msk in fold:
+                            m |= (m >> sh) & msk
+                        acc_active[out_net] += (m & blockstart).bit_count()
+
+            # --- commit the batch boundary ----------------------------
+            for net in range(n_nets):
+                values[net] = (slanes[net] >> top) & 1
+            for i, ci in enumerate(ff_cells):
+                ff_state[ci] = (q_lanes[i] >> top) & 1
+            cycles += nb
+
+        per_node = stats.per_node
+        for net, tog in enumerate(acc_tog):
+            if tog:
+                per_node[net] = NodeActivity(
+                    tog, acc_rise[net], acc_useful[net], acc_useless[net],
+                    acc_active[net],
+                )
+        stats.cycles = cycles
+        stats.final_values = values
+        stats.final_ff_state = ff_state
+        return stats

@@ -46,6 +46,57 @@ class TestCommands:
         )
         assert "dsum=2" in capsys.readouterr().out
 
+    def test_analyze_backends_agree_bit_exactly(self, capsys):
+        outputs = []
+        for backend in ("event", "waveform", "auto"):
+            assert (
+                main(
+                    [
+                        "analyze", "--circuit", "array4", "--vectors", "40",
+                        "--backend", backend,
+                    ]
+                )
+                == 0
+            )
+            # The banner names the delay model, not the engine, so the
+            # whole table must be identical across exact backends.
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_analyze_vcd_via_auto(self, capsys, tmp_path):
+        vcd = tmp_path / "out.vcd"
+        assert (
+            main(
+                [
+                    "analyze", "--circuit", "rca4", "--vectors", "10",
+                    "--backend", "auto", "--vcd", str(vcd),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote 10 cycles" in out and "L/F" in out
+        assert vcd.read_text().startswith("$date")
+
+    def test_analyze_vcd_rejects_batch_backends(self):
+        for backend in ("waveform", "bitparallel"):
+            with pytest.raises(SystemExit, match="event-driven"):
+                main(
+                    [
+                        "analyze", "--circuit", "rca4", "--vectors", "5",
+                        "--backend", backend, "--vcd", "/tmp/never.vcd",
+                    ]
+                )
+
+    def test_analyze_vcd_rejects_shards(self):
+        with pytest.raises(SystemExit, match="shards"):
+            main(
+                [
+                    "analyze", "--circuit", "rca4", "--vectors", "5",
+                    "--shards", "2", "--vcd", "/tmp/never.vcd",
+                ]
+            )
+
     def test_experiment_table1(self, capsys):
         assert main(["experiment", "table1", "--vectors", "30"]) == 0
         out = capsys.readouterr().out

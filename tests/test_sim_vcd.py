@@ -76,3 +76,32 @@ class TestVcdOutput:
         writer = VcdWriter(c, io.StringIO(), cycle_length=1)
         with pytest.raises(ValueError, match="cycle_length"):
             writer.write_cycle(traces[0])
+
+    def test_dump_vcd_rejects_unrecorded_traces_up_front(self):
+        """Regression: a simulator built without record_events=True used
+        to slip through dump_vcd for empty sequences and fail opaquely
+        midway otherwise; now the dump path rejects it immediately."""
+        c = _glitchy()
+        sim = Simulator(c)  # record_events=False
+        sim.settle({c.net("a"): 0})
+        traces = [sim.step({c.net("a"): k % 2}) for k in range(1, 4)]
+        with pytest.raises(ValueError, match="record_events=True"):
+            dump_vcd(c, traces)
+
+    def test_dump_vcd_accepts_one_shot_iterators(self):
+        """The up-front validation must not exhaust a generator input."""
+        c, traces = self._traces()
+        assert dump_vcd(c, iter(traces)) == dump_vcd(c, traces)
+
+    def test_dump_vcd_from_step_traces(self):
+        """ActivityRun.step_traces(record_events=True) feeds dump_vcd."""
+        from repro.core.activity import ActivityRun
+
+        c = _glitchy()
+        run = ActivityRun(c)
+        vectors = [{c.net("a"): k % 2} for k in range(5)]
+        with pytest.raises(ValueError, match="record_events=True"):
+            dump_vcd(c, run.step_traces(iter(vectors)))
+        traces = run.step_traces(iter(vectors), record_events=True)
+        text = dump_vcd(c, traces)
+        assert text.count("$var wire 1 ") == len(c.nets)
