@@ -1,0 +1,77 @@
+"""Service-layer benchmark: warm vs cold result-cache runs.
+
+The service's value proposition is that repeated workloads — many
+users regenerating the same paper artefacts — cost a cache lookup
+instead of a simulation.  This bench measures both sides on the
+Figure 5 workload: a cold run (simulate + store) and a warm run
+(served from the content-addressed store), asserting the warm path is
+dramatically faster *and* bit-identical.
+
+Run with ``pytest -s`` to see the measured speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import vectors
+from repro.circuits.catalog import build_named_circuit
+from repro.service.runner import cached_run
+from repro.service.store import ResultStore
+from repro.sim.vectors import UniformStimulus
+
+pytestmark = pytest.mark.benchmark
+
+
+@pytest.mark.parametrize("phase", ["cold", "warm"])
+def test_cache_cold_vs_warm(benchmark, tmp_path, phase):
+    """One cached_run per phase; the warm phase must be a pure hit."""
+    n = vectors(400, 4000)
+    circuit, stim = build_named_circuit("rca16")
+    spec = UniformStimulus(seed=1995)
+    store = ResultStore(tmp_path)
+    if phase == "warm":
+        cached_run(circuit, stim, spec, n, store=store)  # prime
+        assert len(store) == 1
+
+    result = benchmark.pedantic(
+        cached_run,
+        args=(circuit, stim, spec, n),
+        kwargs={"store": store},
+        rounds=1, iterations=1,
+    )
+    assert result.cycles == n
+    if phase == "warm":
+        assert store.hits >= 1
+
+
+def test_warm_speedup_and_exactness(tmp_path, capsys):
+    """Direct wall-clock comparison with a bit-exactness check."""
+    n = vectors(400, 4000)
+    circuit, stim = build_named_circuit("rca16")
+    spec = UniformStimulus(seed=1995)
+    store = ResultStore(tmp_path)
+
+    t0 = time.perf_counter()
+    cold = cached_run(circuit, stim, spec, n, store=store)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = cached_run(circuit, stim, spec, n, store=store)
+    warm_s = time.perf_counter() - t0
+
+    assert store.hits == 1
+    assert warm.summary() == cold.summary()
+    assert {k: vars(v) for k, v in warm.per_node.items()} == {
+        k: vars(v) for k, v in cold.per_node.items()
+    }
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    with capsys.disabled():
+        print(
+            f"\n  fig5 workload ({n} vectors): cold {cold_s * 1000:.1f} ms, "
+            f"warm {warm_s * 1000:.2f} ms  ({speedup:.0f}x)"
+        )
+    # Conservative bound: a store hit must beat resimulation handily.
+    assert warm_s < cold_s / 5

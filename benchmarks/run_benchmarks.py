@@ -13,6 +13,12 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py
 
+``--compare REFERENCE.json`` additionally gates the run: after
+measuring (and refreshing the output file) it compares each workload's
+median against the reference file and exits non-zero if any regressed
+by more than ``--threshold`` (default 25%) — the CI bench job runs
+this against the committed ``BENCH_sim.json``.
+
 Extra pytest arguments are passed through, e.g.::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py -k "16"
@@ -20,6 +26,7 @@ Extra pytest arguments are passed through, e.g.::
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import subprocess
@@ -88,18 +95,73 @@ def normalize(data: dict) -> dict:
     }
 
 
+def compare(
+    reference: dict, current: dict, threshold: float
+) -> list[str]:
+    """Workloads whose median regressed by more than *threshold*.
+
+    Only keys present in both files are compared — new workloads gate
+    nothing, removed ones just stop being checked.
+    """
+    regressions = []
+    ref_results = reference.get("results", {})
+    for key, entry in current.get("results", {}).items():
+        ref = ref_results.get(key)
+        if ref is None or not ref.get("median_s"):
+            continue
+        ratio = entry["median_s"] / ref["median_s"]
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{key}: {ref['median_s'] * 1000:.3f} ms -> "
+                f"{entry['median_s'] * 1000:.3f} ms "
+                f"({(ratio - 1) * 100:+.1f}%)"
+            )
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
-    data = normalize(run_benchmarks(list(argv or [])))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare", default=None, metavar="REFERENCE.json",
+        help="exit non-zero if any median regresses past the threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed median regression fraction (default 0.25)",
+    )
+    args, extra = parser.parse_known_args(list(argv or []))
+
+    reference = None
+    if args.compare is not None:
+        with open(args.compare) as fh:
+            reference = json.load(fh)  # read before OUT is overwritten
+
+    data = normalize(run_benchmarks(extra))
     with open(OUT, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(f"wrote {OUT}")
     for key, entry in data["results"].items():
         speedup = entry.get("speedup_vs_event")
-        extra = f"  ({speedup}x vs event)" if speedup else ""
+        extra_txt = f"  ({speedup}x vs event)" if speedup else ""
         print(
             f"  {key:28s} {entry['median_s'] * 1000:9.3f} ms median"
-            f"  {entry['cycles_per_s']:>10.1f} cycles/s{extra}"
+            f"  {entry['cycles_per_s']:>10.1f} cycles/s{extra_txt}"
+        )
+
+    if reference is not None:
+        regressions = compare(reference, data, args.threshold)
+        if regressions:
+            print(
+                f"\nFAIL: {len(regressions)} workload(s) regressed "
+                f">{args.threshold * 100:.0f}% vs {args.compare}:"
+            )
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(
+            f"\nno workload regressed >{args.threshold * 100:.0f}% "
+            f"vs {args.compare}"
         )
     return 0
 

@@ -44,6 +44,11 @@ from repro.sim import (
     SumCarryDelay,
     PerKindDelay,
     WordStimulus,
+    StimulusSpec,
+    UniformStimulus,
+    CorrelatedStimulus,
+    BurstMarkovStimulus,
+    make_stimulus,
     EventDrivenBackend,
     WaveformBackend,
     BitParallelBackend,
@@ -53,6 +58,15 @@ from repro.circuits import (
     build_rca_circuit,
     build_multiplier_circuit,
     build_direction_detector,
+    build_named_circuit,
+)
+from repro.service import (
+    BatchScheduler,
+    JobSpec,
+    ResultStore,
+    RunKey,
+    cached_run,
+    configure_default_store,
 )
 from repro.retime import pipeline_circuit, RetimingGraph, minimum_period
 from repro.opt import balance_paths, balancing_report
@@ -87,10 +101,22 @@ __all__ = [
     "SumCarryDelay",
     "PerKindDelay",
     "WordStimulus",
+    "StimulusSpec",
+    "UniformStimulus",
+    "CorrelatedStimulus",
+    "BurstMarkovStimulus",
+    "make_stimulus",
     "dump_vcd",
     "build_rca_circuit",
     "build_multiplier_circuit",
     "build_direction_detector",
+    "build_named_circuit",
+    "BatchScheduler",
+    "JobSpec",
+    "ResultStore",
+    "RunKey",
+    "cached_run",
+    "configure_default_store",
     "pipeline_circuit",
     "RetimingGraph",
     "minimum_period",

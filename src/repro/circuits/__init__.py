@@ -55,6 +55,7 @@ from repro.circuits.datapath import (
     transposed_fir,
     reference_fir,
 )
+from repro.circuits.catalog import build_named_circuit
 
 __all__ = [
     "full_adder",
@@ -82,4 +83,5 @@ __all__ = [
     "mac_unit",
     "transposed_fir",
     "reference_fir",
+    "build_named_circuit",
 ]

@@ -10,12 +10,21 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli analyze --circuit rca16 --backend bitparallel
     python -m repro.cli analyze --circuit rca8 --vectors 50 \
         --backend auto --vcd rca8.vcd   # falls back to event-driven
+    python -m repro.cli analyze --circuit array8 --cache .repro-cache
     python -m repro.cli experiment table1
+    python -m repro.cli experiment fig5 --cache .repro-cache  # warm = instant
+    python -m repro.cli submit --circuit array8 --cache .repro-cache \
+        --sweep circuit=rca8,rca16,array8 --sweep n_vectors=200,500 --jobs 4
+    python -m repro.cli status --cache .repro-cache
+    python -m repro.cli cache --dir .repro-cache
     python -m repro.cli export --circuit detector --format dot
     python -m repro.cli balance --circuit rca16 --vectors 300
 
 Circuit names: ``rcaN`` (ripple-carry adder), ``arrayN`` / ``wallaceN``
 (NxN multipliers), ``detector`` (the Section 4.2 processing unit).
+``--cache DIR`` routes runs through the service layer
+(:mod:`repro.service`): identical re-runs are served bit-identically
+from the content-addressed store with zero simulation work.
 """
 
 from __future__ import annotations
@@ -25,9 +34,7 @@ import random
 import sys
 from typing import List, Sequence, Tuple
 
-from repro.circuits.adders import build_rca_circuit
-from repro.circuits.direction_detector import build_direction_detector
-from repro.circuits.multipliers import build_multiplier_circuit
+from repro.circuits.catalog import build_named_circuit as _catalog_build
 from repro.core.activity import ActivityRun
 from repro.core.report import format_table
 from repro.netlist.circuit import Circuit
@@ -36,35 +43,25 @@ from repro.sim.delays import DelayModel, SumCarryDelay, UnitDelay
 from repro.sim.vectors import WordStimulus
 
 
-def _parse_size(name: str, prefix: str) -> int:
-    try:
-        n = int(name[len(prefix):])
-    except ValueError:
-        raise SystemExit(f"bad circuit name {name!r}: expected {prefix}<bits>")
-    if not 1 <= n <= 64:
-        raise SystemExit(f"width {n} out of range 1..64")
-    return n
-
-
 def build_named_circuit(name: str) -> Tuple[Circuit, WordStimulus]:
-    """Construct a circuit by CLI name; returns it with its stimulus."""
-    if name.startswith("rca"):
-        n = _parse_size(name, "rca")
-        circuit, ports = build_rca_circuit(n, with_cin=False)
-        return circuit, WordStimulus({"a": ports["a"], "b": ports["b"]})
-    if name.startswith("array") or name.startswith("wallace"):
-        arch = "array" if name.startswith("array") else "wallace"
-        n = _parse_size(name, arch)
-        circuit, ports = build_multiplier_circuit(n, arch)
-        return circuit, WordStimulus({"x": ports["x"], "y": ports["y"]})
-    if name == "detector":
-        from repro.experiments.detector import detector_stimulus
+    """Construct a circuit by CLI name; returns it with its stimulus.
 
-        circuit, ports = build_direction_detector()
-        return circuit, detector_stimulus(ports)
-    raise SystemExit(
-        f"unknown circuit {name!r}; try rca16, array8, wallace8, detector"
-    )
+    Thin wrapper over :func:`repro.circuits.catalog.build_named_circuit`
+    that converts lookup errors into ``SystemExit``.
+    """
+    try:
+        return _catalog_build(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _parse_size(name: str, prefix: str) -> int:
+    from repro.circuits.catalog import _parse_size as parse
+
+    try:
+        return parse(name, prefix)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _delay_model(spec: str) -> DelayModel:
@@ -73,6 +70,15 @@ def _delay_model(spec: str) -> DelayModel:
     if spec == "sumcarry":
         return SumCarryDelay(dsum=2, dcarry=1)
     raise SystemExit(f"unknown delay model {spec!r}; use unit or sumcarry")
+
+
+def _open_store(path: str | None, max_bytes: int | None = None):
+    """A :class:`~repro.service.store.ResultStore` at *path*, or None."""
+    if path is None:
+        return None
+    from repro.service.store import ResultStore
+
+    return ResultStore(path, max_bytes=max_bytes)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -94,6 +100,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
         if args.shards > 1:
             raise SystemExit("--vcd records a single stream; drop --shards")
+        if args.cache is not None:
+            raise SystemExit(
+                "--vcd needs recorded per-cycle events, which the result "
+                "store does not hold; drop --cache for VCD dumps"
+            )
         backend = select_backend(record_events=True)
     if backend in ("event", "waveform", "auto"):
         delay = _delay_model(args.delay or "unit")
@@ -106,26 +117,42 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     else:
         delay = None
-    run = ActivityRun(circuit, delay_model=delay, backend=backend)
-    vectors = stim.random(rng, args.vectors + 1)
-    if args.vcd is not None:
-        from repro.core.activity import accumulate_traces
-        from repro.sim.vcd import dump_vcd
+    if args.cache is not None:
+        # Route through the service layer: exact content-addressed
+        # reuse, bit-identical to the direct run below.
+        from repro.service.runner import cached_run
+        from repro.sim.vectors import UniformStimulus
 
-        traces = run.step_traces(vectors, record_events=True)
-        result = accumulate_traces(run._result_shell(), traces)
-        cycle_length = max(
-            (t.settle_time for t in traces), default=0
-        ) + 1
-        with open(args.vcd, "w") as fh:
-            fh.write(dump_vcd(circuit, traces, cycle_length=cycle_length))
-        print(f"wrote {len(traces)} cycles to {args.vcd}")
-    elif args.shards > 1:
-        result = run.run_sharded(
-            vectors, shards=args.shards, processes=args.jobs
+        store = _open_store(args.cache)
+        result = cached_run(
+            circuit, stim, UniformStimulus(seed=args.seed), args.vectors,
+            delay_model=delay, backend=backend, store=store,
+            shards=args.shards, processes=args.jobs,
         )
+        source = "cache" if store.hits else "simulated"
+        store.flush()  # persist hit recency even in read-only runs
+        print(f"[cache] {source}: {store.root}")
     else:
-        result = run.run(vectors)
+        run = ActivityRun(circuit, delay_model=delay, backend=backend)
+        vectors = stim.random(rng, args.vectors + 1)
+        if args.vcd is not None:
+            from repro.core.activity import accumulate_traces
+            from repro.sim.vcd import dump_vcd
+
+            traces = run.step_traces(vectors, record_events=True)
+            result = accumulate_traces(run._result_shell(), traces)
+            cycle_length = max(
+                (t.settle_time for t in traces), default=0
+            ) + 1
+            with open(args.vcd, "w") as fh:
+                fh.write(dump_vcd(circuit, traces, cycle_length=cycle_length))
+            print(f"wrote {len(traces)} cycles to {args.vcd}")
+        elif args.shards > 1:
+            result = run.run_sharded(
+                vectors, shards=args.shards, processes=args.jobs
+            )
+        else:
+            result = run.run(vectors)
     summary = result.summary()
     print(
         format_table(
@@ -142,22 +169,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     name = args.name
+    store = _open_store(args.cache)
     if name == "fig5":
         from repro.experiments.rca import figure5_experiment, format_figure5
 
-        print(format_figure5(figure5_experiment(n_vectors=args.vectors)))
+        print(format_figure5(
+            figure5_experiment(n_vectors=args.vectors, store=store)
+        ))
     elif name == "table1":
         from repro.experiments.multipliers import format_rows, table1_experiment
 
-        print(format_rows(table1_experiment(n_vectors=args.vectors), "Table 1"))
+        print(format_rows(
+            table1_experiment(n_vectors=args.vectors, store=store), "Table 1"
+        ))
     elif name == "table2":
         from repro.experiments.multipliers import format_rows, table2_experiment
 
-        print(format_rows(table2_experiment(n_vectors=args.vectors), "Table 2"))
+        print(format_rows(
+            table2_experiment(n_vectors=args.vectors, store=store), "Table 2"
+        ))
     elif name == "sec42":
         from repro.experiments.detector import section42_experiment
 
-        data = section42_experiment(n_vectors=args.vectors)
+        data = section42_experiment(n_vectors=args.vectors, store=store)
         rows = [
             ["useful", data["useful"], data["paper"]["useful"]],
             ["useless", data["useless"], data["paper"]["useless"]],
@@ -170,7 +204,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             table3_experiment,
         )
 
-        print(format_table3(table3_experiment(n_vectors=args.vectors)))
+        print(format_table3(
+            table3_experiment(n_vectors=args.vectors, store=store)
+        ))
     elif name == "adders":
         from repro.experiments.adder_sweep import (
             adder_architecture_experiment,
@@ -179,7 +215,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
         print(
             format_adder_sweep(
-                adder_architecture_experiment(n_vectors=args.vectors)
+                adder_architecture_experiment(
+                    n_vectors=args.vectors, store=store
+                )
             )
         )
     else:
@@ -187,6 +225,169 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             f"unknown experiment {name!r}; "
             "try fig5, table1, table2, sec42, table3, adders"
         )
+    if store is not None:
+        store.flush()  # persist hit recency even in read-only runs
+        print(
+            f"[cache] {store.hits} hit(s), {store.misses} miss(es) "
+            f"at {store.root}"
+        )
+    return 0
+
+
+def _parse_sweep(
+    pairs: List[str] | None,
+) -> dict:
+    """``axis=v1,v2,...`` option strings -> sweep dict (typed values)."""
+    sweep: dict = {}
+    for pair in pairs or []:
+        axis, sep, values = pair.partition("=")
+        if not sep or not values:
+            raise SystemExit(
+                f"bad --sweep {pair!r}: expected axis=value1,value2,..."
+            )
+        items: List = values.split(",")
+        if axis in ("n_vectors", "seed"):
+            try:
+                items = [int(v) for v in items]
+            except ValueError:
+                raise SystemExit(f"--sweep {axis} values must be integers")
+        sweep[axis] = items
+    return sweep
+
+
+def _make_stimulus_arg(args: argparse.Namespace):
+    from repro.sim.vectors import make_stimulus
+
+    params = {"seed": args.seed}
+    if args.stimulus == "correlated":
+        params["flip_probability"] = args.flip_probability
+    try:
+        return make_stimulus(args.stimulus, **params)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.jobs import BatchScheduler, JobSpec
+
+    store = _open_store(args.cache)
+    spec = JobSpec(
+        circuit=args.circuit,
+        delay=args.delay,
+        stimulus=_make_stimulus_arg(args),
+        n_vectors=args.vectors,
+        backend=args.backend,
+        sweep=_parse_sweep(args.sweep),
+    )
+    try:
+        points = spec.points()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    scheduler = BatchScheduler(store=store, processes=args.jobs)
+    if args.dry_run:
+        hits, misses = scheduler.plan(spec)
+        rows = [[p.label(), "hit"] for p, _ in hits]
+        rows += [[p.label(), "miss"] for p, _ in misses]
+        print(format_table(
+            ["point", "cache"], rows,
+            title=f"dry run — {len(points)} point(s), "
+                  f"{len(hits)} cached, {len(misses)} to simulate",
+        ))
+        return 0
+    report = scheduler.run(spec)
+    rows = [
+        [
+            o.point.label(), o.status, o.summary["total"],
+            o.summary["useful"], o.summary["useless"], o.summary["L/F"],
+        ]
+        for o in report.outcomes
+    ]
+    print(format_table(
+        ["point", "source", "total", "useful", "useless", "L/F"],
+        rows,
+        title=(
+            f"{report.job_id}: {report.n_hits} hit(s), "
+            f"{report.n_computed} computed in {report.elapsed_s:.2f}s"
+        ),
+    ))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.jobs import load_job_records
+
+    store = _open_store(args.cache)
+    if store is None:
+        raise SystemExit("status requires --cache DIR")
+    records = load_job_records(store)
+    if args.job is not None:
+        matches = [r for r in records if r.get("job_id") == args.job]
+        if not matches:
+            raise SystemExit(f"no job {args.job!r} in {store.root}")
+        record = matches[-1]
+        rows = [
+            [
+                o["point"]["circuit"], o["point"]["delay"],
+                o["point"]["n_vectors"], o["status"],
+                o["summary"]["total"], o["summary"]["L/F"],
+            ]
+            for o in record["outcomes"]
+        ]
+        print(format_table(
+            ["circuit", "delay", "vectors", "source", "total", "L/F"],
+            rows, title=record["job_id"],
+        ))
+        return 0
+    if not records:
+        print(f"no jobs recorded in {store.root}")
+        return 0
+    rows = [
+        [
+            r["job_id"], len(r.get("outcomes", [])),
+            r.get("hits", 0), r.get("computed", 0),
+            r.get("elapsed_s", 0.0),
+        ]
+        for r in records
+    ]
+    print(format_table(
+        ["job", "points", "hits", "computed", "elapsed_s"],
+        rows, title=f"jobs in {store.root}",
+    ))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = _open_store(args.dir)
+    if store is None:
+        raise SystemExit("cache requires --dir DIR")
+    if args.clear:
+        n = store.clear()
+        print(f"cleared {n} entrie(s) from {store.root}")
+        return 0
+    if args.prune_bytes is not None:
+        n = store.prune(args.prune_bytes)
+        print(f"evicted {n} entrie(s); {store.total_bytes()} bytes remain")
+        return 0
+    stats = store.stats()
+    rows = [[k, v] for k, v in stats.items() if not k.startswith("session_")]
+    print(format_table(["metric", "value"], rows, title="result store"))
+    entries = list(store.entries())[-args.limit:] if args.limit > 0 else []
+    if entries:
+        rows = [
+            [
+                e["digest"][:12],
+                e.get("circuit_name", "?"),
+                e["key"]["n_vectors"],
+                e["key"]["result_class"],
+                e["summary"]["total"],
+                e["size"],
+            ]
+            for e in entries
+        ]
+        print(format_table(
+            ["digest", "circuit", "vectors", "class", "total", "bytes"],
+            rows, title=f"most recent {len(rows)} entrie(s)",
+        ))
     return 0
 
 
@@ -255,12 +456,81 @@ def make_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for sharded runs (default: in-process)",
     )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help=(
+            "route the run through the service result store at DIR; "
+            "identical re-runs are served bit-exactly without simulating"
+        ),
+    )
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name")
     p.add_argument("--vectors", type=int, default=300)
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="serve repeated runs from the service result store at DIR",
+    )
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "submit",
+        help="run a declarative (sweep) batch job through the service",
+    )
+    p.add_argument("--circuit", default="array8")
+    p.add_argument("--vectors", type=int, default=500)
+    p.add_argument("--seed", type=int, default=1995)
+    p.add_argument(
+        "--delay", default="unit", choices=["unit", "sumcarry", "zero"],
+    )
+    p.add_argument(
+        "--stimulus", default="uniform",
+        choices=["uniform", "correlated", "burst"],
+    )
+    p.add_argument("--flip-probability", type=float, default=0.1)
+    p.add_argument(
+        "--backend", default="auto",
+        choices=["auto", "event", "waveform", "bitparallel"],
+    )
+    p.add_argument(
+        "--sweep", action="append", metavar="AXIS=V1,V2,...",
+        help=(
+            "sweep an axis (circuit, delay, n_vectors, seed) over "
+            "values; repeatable, axes combine as a Cartesian product"
+        ),
+    )
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result store directory (enables partial-hit resume)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for cache-missing points",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="show the hit/miss plan without simulating",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="list batch jobs recorded in a store")
+    p.add_argument("--cache", required=True, metavar="DIR")
+    p.add_argument("--job", default=None, help="show one job in detail")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("cache", help="inspect or maintain a result store")
+    p.add_argument("--dir", required=True, metavar="DIR")
+    p.add_argument("--clear", action="store_true", help="drop all entries")
+    p.add_argument(
+        "--prune-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-used entries down to N bytes",
+    )
+    p.add_argument(
+        "--limit", type=int, default=10,
+        help="entries to list (default 10)",
+    )
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("export", help="dump a circuit as JSON or DOT")
     p.add_argument("--circuit", required=True)

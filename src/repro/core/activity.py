@@ -50,6 +50,34 @@ from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 from repro.sim.engine import CycleTrace, Simulator
 
 
+def summarize_counts(
+    cycles: int, toggles: int, rises: int, useful: int, useless: int
+) -> Dict[str, float]:
+    """The headline summary dict from aggregate transition counts.
+
+    One source of truth for every surface that reports these numbers
+    (:meth:`ActivityResult.summary`, the service store's payload
+    summaries, the batch scheduler's tables).  ``glitches`` is exactly
+    ``useless // 2``: per-cycle classification always produces an even
+    useless count per node, so the per-node and aggregate definitions
+    coincide.
+    """
+    ratio = (
+        useless / useful if useful
+        else (float("inf") if useless else 0.0)
+    )
+    return {
+        "cycles": cycles,
+        "total": toggles,
+        "useful": useful,
+        "useless": useless,
+        "glitches": useless // 2,
+        "rises": rises,
+        "L/F": round(ratio, 4),
+        "reduction_bound": round(1.0 + ratio, 4),
+    }
+
+
 @dataclass
 class ActivityResult:
     """Aggregated transition activity for one simulation run.
@@ -160,16 +188,10 @@ class ActivityResult:
 
     def summary(self) -> Dict[str, float]:
         """Headline numbers in one dict (used by reports and benches)."""
-        return {
-            "cycles": self.cycles,
-            "total": self.total_transitions,
-            "useful": self.useful,
-            "useless": self.useless,
-            "glitches": self.glitches,
-            "rises": self.rises,
-            "L/F": round(self.useless_useful_ratio(), 4),
-            "reduction_bound": round(self.reduction_bound(), 4),
-        }
+        return summarize_counts(
+            self.cycles, self.total_transitions, self.rises,
+            self.useful, self.useless,
+        )
 
 
 def accumulate_traces(

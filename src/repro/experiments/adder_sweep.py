@@ -11,7 +11,6 @@ architectures produce lower useless/useful ratios.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, List
 
 from repro.circuits.adders import (
@@ -20,10 +19,10 @@ from repro.circuits.adders import (
     kogge_stone_adder,
     ripple_carry_adder,
 )
-from repro.core.activity import ActivityRun
 from repro.core.report import format_table
 from repro.netlist.circuit import Circuit
-from repro.sim.vectors import WordStimulus
+from repro.service.runner import cached_run
+from repro.sim.vectors import UniformStimulus, WordStimulus
 
 
 def _build(architecture: str, n_bits: int) -> tuple[Circuit, dict]:
@@ -53,6 +52,7 @@ def adder_architecture_experiment(
     n_bits: int = 16,
     n_vectors: int = 500,
     seed: int = 1995,
+    store=None,
 ) -> Dict[str, Any]:
     """Activity and structure of four adder architectures.
 
@@ -63,8 +63,10 @@ def adder_architecture_experiment(
     for architecture in ARCHITECTURES:
         circuit, ports = _build(architecture, n_bits)
         stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
-        rng = random.Random(seed)
-        result = ActivityRun(circuit).run(stim.random(rng, n_vectors + 1))
+        result = cached_run(
+            circuit, stim, UniformStimulus(seed=seed), n_vectors,
+            store=store,
+        )
         summary = result.summary()
         rows.append(
             {

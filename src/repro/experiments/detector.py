@@ -9,13 +9,12 @@ those numbers on our reconstruction of the Figure 8 datapath.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict
 
 from repro.circuits.direction_detector import build_direction_detector
-from repro.core.activity import ActivityRun
+from repro.service.runner import cached_run
 from repro.sim.delays import DelayModel, UnitDelay
-from repro.sim.vectors import WordStimulus
+from repro.sim.vectors import UniformStimulus, WordStimulus
 
 #: The paper's measured values, for side-by-side reporting.
 PAPER_USEFUL = 272842
@@ -36,17 +35,21 @@ def section42_experiment(
     threshold: int = 16,
     seed: int = 1995,
     delay_model: DelayModel | None = None,
+    store=None,
 ) -> Dict[str, Any]:
     """Measure useful/useless activity of the direction detector.
 
     Returns the simulated summary plus the paper's reference numbers
     and the derived balanced-activity reduction bound (1 + L/F).
+    Routed through the service layer, so warm-cache re-runs skip
+    simulation entirely.
     """
     circuit, ports = build_direction_detector(width=width, threshold=threshold)
     stim = detector_stimulus(ports)
-    rng = random.Random(seed)
-    run = ActivityRun(circuit, delay_model=delay_model or UnitDelay())
-    result = run.run(stim.random(rng, n_vectors + 1))
+    result = cached_run(
+        circuit, stim, UniformStimulus(seed=seed), n_vectors,
+        delay_model=delay_model or UnitDelay(), store=store,
+    )
     summary = result.summary()
     return {
         "n_vectors": n_vectors,

@@ -16,14 +16,14 @@ activity split responds.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, List
 
 from repro.circuits.multipliers import build_multiplier_circuit
-from repro.core.activity import ActivityResult, ActivityRun
+from repro.core.activity import ActivityResult
 from repro.core.report import format_table
+from repro.service.runner import cached_run
 from repro.sim.delays import DelayModel, SumCarryDelay, UnitDelay
-from repro.sim.vectors import WordStimulus
+from repro.sim.vectors import CorrelatedStimulus, UniformStimulus, WordStimulus
 
 
 def _run_multiplier(
@@ -33,28 +33,33 @@ def _run_multiplier(
     seed: int,
     delay_model: DelayModel,
     correlation: float | None = None,
+    store=None,
 ) -> ActivityResult:
     circuit, ports = build_multiplier_circuit(n_bits, architecture)
     stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
-    rng = random.Random(seed)
     if correlation is None:
-        vectors = stim.random(rng, n_vectors + 1)
+        spec = UniformStimulus(seed=seed)
     else:
-        vectors = stim.correlated(rng, n_vectors + 1, flip_probability=correlation)
-    return ActivityRun(circuit, delay_model=delay_model).run(vectors)
+        spec = CorrelatedStimulus(seed=seed, flip_probability=correlation)
+    return cached_run(
+        circuit, stim, spec, n_vectors,
+        delay_model=delay_model, store=store,
+    )
 
 
 def table1_experiment(
     n_vectors: int = 500,
     seed: int = 1995,
     sizes: tuple[int, ...] = (8, 16),
+    store=None,
 ) -> Dict[str, Any]:
     """Unit-delay activity of array vs Wallace multipliers (Table 1)."""
     rows: List[Dict[str, Any]] = []
     for architecture in ("array", "wallace"):
         for n_bits in sizes:
             result = _run_multiplier(
-                n_bits, architecture, n_vectors, seed, UnitDelay()
+                n_bits, architecture, n_vectors, seed, UnitDelay(),
+                store=store,
             )
             summary = result.summary()
             rows.append(
@@ -75,6 +80,7 @@ def table2_experiment(
     seed: int = 1995,
     n_bits: int = 8,
     sum_carry_ratio: int = 2,
+    store=None,
 ) -> Dict[str, Any]:
     """Delay-imbalance refinement: dsum = ratio * dcarry (Table 2)."""
     rows: List[Dict[str, Any]] = []
@@ -88,7 +94,8 @@ def table2_experiment(
     for architecture in ("array", "wallace"):
         for label, model in models:
             result = _run_multiplier(
-                n_bits, architecture, n_vectors, seed, model
+                n_bits, architecture, n_vectors, seed, model,
+                store=store,
             )
             summary = result.summary()
             rows.append(
@@ -108,6 +115,7 @@ def correlation_experiment(
     seed: int = 1995,
     n_bits: int = 8,
     flip_probabilities: tuple[float, ...] = (0.5, 0.25, 0.1, 0.02),
+    store=None,
 ) -> Dict[str, Any]:
     """A2 ablation: activity vs input correlation.
 
@@ -120,7 +128,7 @@ def correlation_experiment(
         for fp in flip_probabilities:
             result = _run_multiplier(
                 n_bits, architecture, n_vectors, seed, UnitDelay(),
-                correlation=fp,
+                correlation=fp, store=store,
             )
             summary = result.summary()
             rows.append(

@@ -25,7 +25,9 @@ from repro.core.power import estimate_power
 from repro.core.report import format_table
 from repro.experiments.detector import detector_stimulus
 from repro.retime.pipeline import pipeline_circuit
+from repro.service.runner import cached_run
 from repro.sim.delays import DelayModel, UnitDelay
+from repro.sim.vectors import UniformStimulus
 from repro.tech.area import AreaModel
 from repro.tech.clock import ClockTreeModel
 from repro.tech.library import TechnologyLibrary
@@ -41,6 +43,7 @@ def table3_experiment(
     clock_model: ClockTreeModel | None = None,
     area_model: AreaModel | None = None,
     delay_model: DelayModel | None = None,
+    store=None,
 ) -> Dict[str, Any]:
     """Pipeline-depth sweep with three-component power accounting.
 
@@ -68,10 +71,10 @@ def table3_experiment(
             base, extra, delay_model=delay_model,
             name=f"detector_c{k + 1}",
         )
-        rng = random.Random(seed)
-        activity = ActivityRun(
-            pipelined.circuit, delay_model=delay_model
-        ).run(stim.random(rng, n_vectors + 1))
+        activity = cached_run(
+            pipelined.circuit, stim, UniformStimulus(seed=seed),
+            n_vectors, delay_model=delay_model, store=store,
+        )
         breakdown = estimate_power(
             pipelined.circuit, activity, frequency, tech, clock_model
         )

@@ -16,7 +16,12 @@ from repro.netlist.cells import (
     evaluate_kind,
 )
 from repro.netlist.circuit import Circuit, Net
-from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.netlist.compiled import (
+    CompiledCircuit,
+    circuit_fingerprint,
+    compile_circuit,
+    delay_fingerprint,
+)
 from repro.netlist.validate import ValidationIssue, ValidationError, validate
 from repro.netlist.io import circuit_to_json, circuit_from_json, circuit_to_dot
 
@@ -25,7 +30,9 @@ __all__ = [
     "Cell",
     "Circuit",
     "CompiledCircuit",
+    "circuit_fingerprint",
     "compile_circuit",
+    "delay_fingerprint",
     "Net",
     "COMBINATIONAL_KINDS",
     "SEQUENTIAL_KINDS",

@@ -71,6 +71,7 @@ class Circuit:
         self._anon_net = 0
         self._anon_cell = 0
         self._version = 0
+        self._fingerprint: Tuple[int, str] | None = None
 
     @property
     def version(self) -> int:
@@ -224,6 +225,29 @@ class Circuit:
 
     def __contains__(self, name: str) -> bool:
         return name in self._net_by_name
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of this circuit's structure.
+
+        Canonical over topology, cell kinds and net names —
+        insertion-order independent, port-order sensitive (see
+        :func:`repro.netlist.compiled.circuit_fingerprint`).  The
+        service layer uses this as the circuit half of its
+        content-addressed result keys; the compiled-IR memo shares the
+        same identity notion via :attr:`version` invalidation.
+        Memoized per version, so repeated calls are free.
+        """
+        from repro.netlist.compiled import circuit_fingerprint
+
+        cached = self._fingerprint
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        digest = circuit_fingerprint(self)
+        self._fingerprint = (self._version, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # structure queries

@@ -23,12 +23,26 @@ The :class:`CompiledCircuit` holds:
 Memoization is keyed on the circuit object (weakly, so compiled forms
 die with their circuits) plus :meth:`DelayModel.cache_token`, and
 invalidated by :attr:`Circuit.version`, which every netlist mutation
-bumps.  All simulation backends (:mod:`repro.sim.backends`) and
-:meth:`Circuit.evaluate` share this cache.
+bumps.  Per circuit, at most :data:`MEMO_DELAY_MODELS` delay-model
+entries are retained (least-recently-used eviction), so a long-lived
+service process sweeping many delay models cannot grow the memo
+without bound.  All simulation backends (:mod:`repro.sim.backends`)
+and :meth:`Circuit.evaluate` share this cache.
+
+This module is also the home of **canonical fingerprinting**
+(:func:`circuit_fingerprint`, :func:`delay_fingerprint`): stable
+content hashes over the same structural facts the compiled IR is built
+from, used by the service layer (:mod:`repro.service`) to address
+cached analysis results.  Fingerprints are insertion-order independent
+— nets and cells are canonicalized by *name*, not index — so two
+builds of the same netlist hash identically no matter the construction
+order.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
 from weakref import WeakKeyDictionary
@@ -470,8 +484,15 @@ def settle_lanes(
     )
 
 
-#: circuit -> {delay cache token -> CompiledCircuit}
+#: circuit -> OrderedDict{delay cache token -> CompiledCircuit} (LRU)
 _CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+#: Per-circuit bound on memoized (delay model -> compiled form)
+#: entries.  Small on purpose: a run touches a handful of delay models
+#: at a time, while a long-lived service process may sweep hundreds —
+#: without a cap the memo would retain all of them for as long as the
+#: circuit lives.
+MEMO_DELAY_MODELS = 8
 
 
 def compile_circuit(
@@ -482,21 +503,114 @@ def compile_circuit(
     With *delay_model* ``None`` the compiled form carries no delay
     information (``out_specs is None``) — enough for functional
     evaluation and the bit-parallel backend.  Each distinct delay
-    model (by :meth:`DelayModel.cache_token`) gets its own entry;
-    mutating the circuit invalidates all of them.
+    model (by :meth:`DelayModel.cache_token`) gets its own entry, up
+    to :data:`MEMO_DELAY_MODELS` per circuit (least-recently-used
+    eviction beyond that); mutating the circuit invalidates all of
+    them.
     """
     key: Hashable = None if delay_model is None else delay_model.cache_token()
     per_circuit = _CACHE.get(circuit)
     if per_circuit is None:
-        per_circuit = _CACHE[circuit] = {}
+        per_circuit = _CACHE[circuit] = OrderedDict()
     cached = per_circuit.get(key)
     if cached is not None and cached.version == circuit.version:
+        per_circuit.move_to_end(key)
         return cached
     if per_circuit and next(iter(per_circuit.values())).version != circuit.version:
         per_circuit.clear()  # the whole snapshot generation is stale
     compiled = _build(circuit, delay_model)
     per_circuit[key] = compiled
+    per_circuit.move_to_end(key)
+    while len(per_circuit) > MEMO_DELAY_MODELS:
+        per_circuit.popitem(last=False)
     return compiled
+
+
+# ---------------------------------------------------------------------------
+# Canonical fingerprints
+# ---------------------------------------------------------------------------
+
+def content_digest(doc: object) -> str:
+    """SHA-256 over the canonical ``repr`` of a pure-literal document.
+
+    *doc* must be built only from str / int / float / tuple so that
+    ``repr`` is deterministic across processes and Python versions.
+    The one digest primitive every fingerprint in the system uses
+    (circuit/delay here, stimulus specs, run keys), so the determinism
+    contract lives in exactly one place.
+    """
+    return hashlib.sha256(repr(doc).encode("utf-8")).hexdigest()
+
+
+_digest = content_digest
+
+
+def circuit_fingerprint(circuit: "Circuit") -> str:
+    """Stable content hash of a circuit's structure.
+
+    Covers topology, cell kinds and net names; port order (which is
+    semantically significant — input vectors are positional, output
+    words are LSB-first) is preserved, while net and cell *insertion*
+    order is canonicalized away by sorting name-based records.  Any
+    change to connectivity, a cell kind, a net name, or the port lists
+    changes the hash; re-building the identical netlist in a different
+    order does not.
+
+    Prefer :meth:`Circuit.fingerprint`, which memoizes this per
+    circuit version.
+    """
+    nets = circuit.nets
+    cells = tuple(sorted(
+        (
+            cell.kind.value,
+            tuple(nets[n].name for n in cell.inputs),
+            tuple(nets[n].name for n in cell.outputs),
+        )
+        for cell in circuit.cells
+    ))
+    doc = (
+        "circuit-v1",
+        tuple(nets[n].name for n in circuit.inputs),
+        tuple(nets[n].name for n in circuit.outputs),
+        tuple(sorted(net.name for net in nets)),
+        cells,
+    )
+    return _digest(doc)
+
+
+#: Fingerprint shared by every zero-delay regime (``delay_model is
+#: None``, :class:`~repro.sim.delays.ZeroDelay`): no intra-cycle time
+#: resolution exists, so all of them produce identical results.
+ZERO_DELAY_FINGERPRINT = _digest(("delay-v1", "zero"))
+
+
+def delay_fingerprint(
+    circuit: "Circuit", delay_model: "DelayModel | None"
+) -> str:
+    """Stable content hash of a delay model *as applied to* a circuit.
+
+    Hashing the resolved per-cell-output delays (rather than the model
+    object) makes the fingerprint exact for stateful models such as
+    :class:`~repro.sim.delays.LoadDelay`, and makes differently-named
+    models that assign identical delays hash identically.  Records are
+    keyed by net names, so the hash is insertion-order independent
+    like :func:`circuit_fingerprint`.
+    """
+    from repro.sim.delays import ZeroDelay
+
+    if delay_model is None or isinstance(delay_model, ZeroDelay):
+        return ZERO_DELAY_FINGERPRINT
+    cc = compile_circuit(circuit, delay_model)
+    nets = circuit.nets
+    rows = tuple(sorted(
+        (
+            cell.kind.value,
+            tuple(nets[n].name for n in cell.inputs),
+            tuple((nets[out].name, d) for out, d in spec),
+        )
+        for cell, spec in zip(circuit.cells, cc.out_specs)
+    ))
+    return _digest(("delay-v1", rows))
 
 
 def _build(

@@ -1,0 +1,73 @@
+"""Analysis service: exact result reuse and batch scheduling.
+
+The sixth architecture layer, on top of the session API
+(:mod:`repro.core.activity`).  Identical analysis requests — the
+common case when many users sweep the same paper artefacts — are
+served from a persistent, content-addressed cache instead of
+recomputing, and large parameter sweeps become declarative batch jobs
+with partial-hit resume:
+
+* :mod:`repro.service.store` — :class:`ResultStore`: on-disk,
+  LRU-bounded, atomic-write cache of serialized activity results,
+  keyed by canonical fingerprints of (circuit, delay model, stimulus,
+  vector count, result class).  Hits are bit-identical to
+  recomputation by construction.
+* :mod:`repro.service.runner` — :func:`cached_run`, the front door
+  every cached consumer routes through, plus the process-default
+  store (``REPRO_CACHE_DIR``).
+* :mod:`repro.service.jobs` — :class:`JobSpec` sweeps expanded into
+  :class:`JobPoint`\\ s and executed by the :class:`BatchScheduler`
+  over a ``multiprocessing`` pool; only cache-missing points
+  simulate.
+
+The CLI exposes the service as ``repro.cli submit / status / cache``
+and via ``--cache DIR`` on ``analyze`` and ``experiment``.
+"""
+
+from repro.service.store import (
+    GLITCH_EXACT,
+    SETTLED,
+    ResultStore,
+    RunKey,
+    decode_result,
+    encode_result,
+    payload_summary,
+)
+from repro.service.runner import (
+    cached_run,
+    configure_default_store,
+    default_store,
+    run_key,
+    word_layout,
+)
+from repro.service.jobs import (
+    BatchReport,
+    BatchScheduler,
+    JobPoint,
+    JobSpec,
+    PointOutcome,
+    load_job_records,
+    resolve_delay,
+)
+
+__all__ = [
+    "GLITCH_EXACT",
+    "SETTLED",
+    "ResultStore",
+    "RunKey",
+    "decode_result",
+    "encode_result",
+    "payload_summary",
+    "cached_run",
+    "configure_default_store",
+    "default_store",
+    "run_key",
+    "word_layout",
+    "BatchReport",
+    "BatchScheduler",
+    "JobPoint",
+    "JobSpec",
+    "PointOutcome",
+    "load_job_records",
+    "resolve_delay",
+]

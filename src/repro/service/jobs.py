@@ -1,0 +1,376 @@
+"""Declarative batch jobs: sweep specs fanned out over a worker pool.
+
+A :class:`JobSpec` names everything a run needs declaratively — a
+catalog circuit (:func:`repro.circuits.catalog.build_named_circuit`),
+a delay regime, a :class:`~repro.sim.vectors.StimulusSpec`, a vector
+count — plus *sweep axes* (lists of values for any of those fields),
+which expand via Cartesian product into independent
+:class:`JobPoint`\\ s.
+
+The :class:`BatchScheduler` resolves each point against the result
+store first (**partial-hit resume**: re-submitting an overlapping
+sweep simulates only the cache-missing points), fans the misses out
+over a ``multiprocessing`` pool, and writes every computed result
+back.  Workers never touch the store — they return serialized
+payloads and the parent performs all index mutations — so there is a
+single writer per store by construction.
+
+Job records are persisted under ``<store>/jobs/<job_id>.json`` so
+``repro.cli status`` can report past batches.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.circuits.catalog import build_named_circuit, validate_name
+from repro.service.runner import run_key
+from repro.service.store import (
+    ResultStore,
+    _atomic_write,
+    encode_result,
+    payload_summary,
+)
+from repro.sim.delays import DelayModel, SumCarryDelay, UnitDelay
+from repro.sim.vectors import StimulusSpec, UniformStimulus, stimulus_from_dict
+
+#: Delay regimes a declarative job may name.
+DELAY_MODELS = {
+    "unit": lambda: UnitDelay(),
+    "sumcarry": lambda: SumCarryDelay(dsum=2, dcarry=1),
+    "zero": lambda: None,
+}
+
+#: Sweep axes :meth:`JobSpec.points` understands.
+SWEEP_AXES = ("circuit", "delay", "n_vectors", "seed")
+
+
+def resolve_delay(name: str) -> DelayModel | None:
+    """Build the delay model a job names (``None`` for zero delay)."""
+    factory = DELAY_MODELS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown delay model {name!r}; choose from {sorted(DELAY_MODELS)}"
+        )
+    return factory()
+
+
+@dataclass(frozen=True)
+class JobPoint:
+    """One concrete, dependency-free unit of work in a batch."""
+
+    circuit: str
+    delay: str
+    stimulus: StimulusSpec
+    n_vectors: int
+    backend: str = "auto"
+
+    def label(self) -> str:
+        return (
+            f"{self.circuit} Δ{self.delay} "
+            f"{self.stimulus.describe()} x{self.n_vectors}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "delay": self.delay,
+            "stimulus": self.stimulus.to_dict(),
+            "n_vectors": self.n_vectors,
+            "backend": self.backend,
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "JobPoint":
+        return JobPoint(
+            circuit=doc["circuit"],
+            delay=doc["delay"],
+            stimulus=stimulus_from_dict(doc["stimulus"]),
+            n_vectors=int(doc["n_vectors"]),
+            backend=doc.get("backend", "auto"),
+        )
+
+
+@dataclass
+class JobSpec:
+    """Declarative description of a batch of activity runs.
+
+    *sweep* maps axis names (:data:`SWEEP_AXES`) to value lists; the
+    base fields provide the value for every axis not swept.  The
+    ``seed`` axis re-seeds the stimulus spec via ``replace``.
+    """
+
+    circuit: str = "array8"
+    delay: str = "unit"
+    stimulus: StimulusSpec = field(default_factory=UniformStimulus)
+    n_vectors: int = 500
+    backend: str = "auto"
+    sweep: Dict[str, Sequence[Any]] = field(default_factory=dict)
+
+    def points(self) -> List[JobPoint]:
+        """Expand the sweep axes into concrete points (product order)."""
+        for axis in self.sweep:
+            if axis not in SWEEP_AXES:
+                raise ValueError(
+                    f"unknown sweep axis {axis!r}; "
+                    f"choose from {SWEEP_AXES}"
+                )
+            if not self.sweep[axis]:
+                raise ValueError(f"sweep axis {axis!r} has no values")
+        axes = [a for a in SWEEP_AXES if a in self.sweep]
+        base = {
+            "circuit": self.circuit,
+            "delay": self.delay,
+            "n_vectors": self.n_vectors,
+            "seed": self.stimulus.seed,
+        }
+        points = []
+        for combo in itertools.product(*(self.sweep[a] for a in axes)):
+            vals = dict(base)
+            vals.update(zip(axes, combo))
+            # Validate early, in the parent, before anything simulates.
+            resolve_delay(vals["delay"])
+            validate_name(vals["circuit"])
+            points.append(JobPoint(
+                circuit=vals["circuit"],
+                delay=vals["delay"],
+                stimulus=replace(self.stimulus, seed=int(vals["seed"])),
+                n_vectors=int(vals["n_vectors"]),
+                backend=self.backend,
+            ))
+        return points
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "delay": self.delay,
+            "stimulus": self.stimulus.to_dict(),
+            "n_vectors": self.n_vectors,
+            "backend": self.backend,
+            "sweep": {k: list(v) for k, v in self.sweep.items()},
+        }
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point: served from cache or simulated."""
+
+    point: JobPoint
+    status: str  # "hit" | "computed"
+    summary: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point.to_dict(),
+            "status": self.status,
+            "summary": self.summary,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one scheduler batch."""
+
+    job_id: str
+    outcomes: List[PointOutcome]
+    elapsed_s: float
+
+    @property
+    def n_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "hit")
+
+    @property
+    def n_computed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "computed")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "hits": self.n_hits,
+            "computed": self.n_computed,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def _compute_point(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one point (module-level so worker pools can pickle it).
+
+    Builds the circuit from the catalog, runs the session API directly
+    — never through a store, not even a ``REPRO_CACHE_DIR`` default:
+    the parent is the store's single writer by construction — and
+    returns the serialized payload.
+    """
+    from repro.core.activity import ActivityRun
+
+    point = JobPoint.from_dict(doc)
+    circuit, stim = build_named_circuit(point.circuit)
+    run = ActivityRun(
+        circuit,
+        delay_model=resolve_delay(point.delay),
+        backend=point.backend,
+    )
+    result = run.run(point.stimulus.vectors(stim, point.n_vectors + 1))
+    return encode_result(result)
+
+
+class BatchScheduler:
+    """Fan a :class:`JobSpec`'s points out over workers, through the store.
+
+    Parameters
+    ----------
+    store:
+        Result store for hit checks and write-back (``None`` disables
+        caching: every point simulates).
+    processes:
+        Worker processes for cache-missing points; ``None`` or ``1``
+        runs them sequentially in-process.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        processes: int | None = None,
+    ) -> None:
+        self.store = store
+        self.processes = processes
+
+    # ------------------------------------------------------------------
+    def plan(
+        self, spec: JobSpec
+    ) -> Tuple[List[Tuple[JobPoint, Dict]], List[Tuple[JobPoint, Any]]]:
+        """Split *spec*'s points into hits and misses.
+
+        Hits carry their stored payloads; misses carry their
+        precomputed :class:`~repro.service.store.RunKey` (``None``
+        when no store is configured), so :meth:`run` never rebuilds or
+        re-fingerprints a circuit the plan already resolved.
+        """
+        return self._plan(spec.points())
+
+    def _plan(self, points: List[JobPoint]):
+        hits: List[Tuple[JobPoint, Dict]] = []
+        misses: List[Tuple[JobPoint, Any]] = []
+        # One netlist build per distinct circuit name: reusing the
+        # object lets the fingerprint and compile memos hit across the
+        # (typically many) points sharing a circuit axis value.
+        builds: Dict[str, Tuple] = {}
+        for point in points:
+            key = None
+            payload = None
+            if self.store is not None:
+                built = builds.get(point.circuit)
+                if built is None:
+                    built = builds[point.circuit] = build_named_circuit(
+                        point.circuit
+                    )
+                circuit, stim = built
+                key = run_key(
+                    circuit, stim, point.stimulus, point.n_vectors,
+                    delay_model=resolve_delay(point.delay),
+                    backend=point.backend,
+                )
+                payload = self.store.get(key)
+            if payload is None:
+                misses.append((point, key))
+            else:
+                hits.append((point, payload))
+        return hits, misses
+
+    def run(self, spec: JobSpec, job_id: str | None = None) -> BatchReport:
+        """Execute *spec*: serve hits, simulate misses, persist results.
+
+        Partial-hit resume falls out of the plan: only points missing
+        from the store reach the worker pool.  The job record (spec,
+        per-point status, aggregates) is written under the store's
+        ``jobs/`` directory when a store is configured.
+        """
+        start = time.monotonic()
+        points = spec.points()
+        hits, misses = self._plan(points)
+        outcomes: Dict[JobPoint, PointOutcome] = {}
+        for point, payload in hits:
+            outcomes[point] = PointOutcome(
+                point, "hit", payload_summary(payload)
+            )
+
+        docs = [p.to_dict() for p, _ in misses]
+        if self.processes and self.processes > 1 and len(misses) > 1:
+            with multiprocessing.Pool(
+                min(self.processes, len(misses))
+            ) as pool:
+                payloads = pool.map(_compute_point, docs)
+        else:
+            payloads = [_compute_point(doc) for doc in docs]
+        if self.store is not None and misses:
+            with self.store.deferred():  # one index write for the batch
+                for (_, key), payload in zip(misses, payloads):
+                    self.store.put(key, payload)
+        for (point, _), payload in zip(misses, payloads):
+            outcomes[point] = PointOutcome(
+                point, "computed", payload_summary(payload)
+            )
+
+        report = BatchReport(
+            job_id=job_id or _new_job_id(spec, self.store),
+            outcomes=[outcomes[p] for p in points],
+            elapsed_s=time.monotonic() - start,
+        )
+        if self.store is not None:
+            _write_job_record(self.store, spec, report)
+            self.store.flush()  # persist hit recency for LRU fairness
+        return report
+
+
+# ---------------------------------------------------------------------------
+# Job records
+# ---------------------------------------------------------------------------
+
+def _new_job_id(spec: JobSpec, store: ResultStore | None) -> str:
+    from repro.netlist.compiled import content_digest
+
+    digest = content_digest(repr(sorted(spec.to_dict().items())))[:8]
+    seq = 0
+    if store is not None and store.jobs_dir.exists():
+        seq = len(list(store.jobs_dir.glob("*.json")))
+        # Re-runs of a spec after deletions (or racing submitters) can
+        # land on an existing id; bump rather than overwrite history.
+        while (store.jobs_dir / f"job-{seq:04d}-{digest}.json").exists():
+            seq += 1
+    return f"job-{seq:04d}-{digest}"
+
+
+def _write_job_record(
+    store: ResultStore, spec: JobSpec, report: BatchReport
+) -> Path:
+    store.jobs_dir.mkdir(parents=True, exist_ok=True)
+    path = store.jobs_dir / f"{report.job_id}.json"
+    record = {
+        "job_id": report.job_id,
+        "created": time.time(),
+        "spec": spec.to_dict(),
+        **report.to_dict(),
+    }
+    _atomic_write(path, json.dumps(record, sort_keys=True, indent=1) + "\n")
+    return path
+
+
+def load_job_records(store: ResultStore) -> List[Dict[str, Any]]:
+    """All persisted job records in *store*, oldest first."""
+    if not store.jobs_dir.exists():
+        return []
+    records = []
+    for path in sorted(store.jobs_dir.glob("*.json")):
+        try:
+            with open(path) as fh:
+                records.append(json.load(fh))
+        except (OSError, json.JSONDecodeError):
+            continue
+    records.sort(key=lambda r: r.get("created", 0.0))
+    return records

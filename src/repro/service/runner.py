@@ -1,0 +1,169 @@
+"""The service front door: exact result reuse around :class:`ActivityRun`.
+
+:func:`cached_run` is the one call every cached consumer (the CLI's
+``analyze --cache``, the experiment drivers, the batch scheduler)
+routes through.  It computes the content-addressed :class:`RunKey` for
+a (circuit, delay model, stimulus spec, vector count) request, serves
+a store hit by re-materializing the payload against the requesting
+circuit, and on a miss simulates through the normal session API and
+stores the full-monitor result.
+
+Hits are **bit-identical** to recomputation: the key hashes the exact
+inputs of the simulation (canonical circuit structure, resolved
+per-cell delays, the seed-stable declarative stimulus bound to the
+word layout), and the payload stores exact integer counts per net
+name.  Results are always *computed and cached* over the full monitor
+set (all cell-driven nets); a ``monitor`` argument only restricts the
+returned view, so one cache entry serves every projection of the same
+run.
+
+The default store can be set process-wide with
+:func:`configure_default_store` or the ``REPRO_CACHE_DIR`` environment
+variable, which is how ``repro.cli`` turns ``--cache DIR`` into warm
+experiment re-runs without threading a store through every driver
+signature.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.activity import ActivityResult, ActivityRun
+from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import delay_fingerprint
+from repro.service.store import (
+    GLITCH_EXACT,
+    SETTLED,
+    ResultStore,
+    RunKey,
+    decode_result,
+    encode_result,
+)
+from repro.sim.backends import BACKENDS
+from repro.sim.delays import DelayModel
+from repro.sim.vectors import StimulusSpec, WordStimulus
+
+#: Process-wide default store (see :func:`configure_default_store`).
+_DEFAULT_STORE: Optional[ResultStore] = None
+_DEFAULT_STORE_INIT = False
+
+
+def configure_default_store(store: ResultStore | None) -> None:
+    """Set (or clear, with ``None``) the process-wide default store."""
+    global _DEFAULT_STORE, _DEFAULT_STORE_INIT
+    _DEFAULT_STORE = store
+    _DEFAULT_STORE_INIT = True
+
+
+def default_store() -> Optional[ResultStore]:
+    """The configured default store, else one from ``REPRO_CACHE_DIR``."""
+    global _DEFAULT_STORE, _DEFAULT_STORE_INIT
+    if not _DEFAULT_STORE_INIT:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir:
+            _DEFAULT_STORE = ResultStore(cache_dir)
+        _DEFAULT_STORE_INIT = True
+    return _DEFAULT_STORE
+
+
+def _as_word_stimulus(
+    words: WordStimulus | Mapping[str, Sequence[int]]
+) -> WordStimulus:
+    if isinstance(words, WordStimulus):
+        return words
+    return WordStimulus(dict(words))
+
+
+def word_layout(circuit: Circuit, stim: WordStimulus) -> Tuple:
+    """Canonical word structure: ``((word, (net names...)), ...)``.
+
+    Net *names* (not indices) keep the layout aligned with the
+    circuit fingerprint's identity; word order is preserved because it
+    determines RNG consumption order in the generators.
+    """
+    return tuple(
+        (name, tuple(circuit.net_name(n) for n in nets))
+        for name, nets in stim.words.items()
+    )
+
+
+def run_key(
+    circuit: Circuit,
+    words: WordStimulus | Mapping[str, Sequence[int]],
+    stimulus: StimulusSpec,
+    n_vectors: int,
+    delay_model: DelayModel | None = None,
+    backend: str = "auto",
+) -> RunKey:
+    """The content-addressed identity of this run (without running it)."""
+    run = ActivityRun(circuit, delay_model=delay_model, backend=backend)
+    return _key_for(run, circuit, _as_word_stimulus(words), stimulus, n_vectors)
+
+
+def _key_for(
+    run: ActivityRun,
+    circuit: Circuit,
+    stim: WordStimulus,
+    stimulus: StimulusSpec,
+    n_vectors: int,
+) -> RunKey:
+    exact = BACKENDS[run.backend_name].exact_glitches
+    return RunKey(
+        circuit_fp=circuit.fingerprint(),
+        delay_fp=delay_fingerprint(circuit, run.delay_model),
+        stimulus_fp=stimulus.fingerprint(word_layout(circuit, stim)),
+        n_vectors=n_vectors,
+        result_class=GLITCH_EXACT if exact else SETTLED,
+    )
+
+
+def cached_run(
+    circuit: Circuit,
+    words: WordStimulus | Mapping[str, Sequence[int]],
+    stimulus: StimulusSpec,
+    n_vectors: int,
+    delay_model: DelayModel | None = None,
+    backend: str = "auto",
+    store: ResultStore | None = None,
+    shards: int = 1,
+    processes: int | None = None,
+    monitor: Iterable[int] | None = None,
+) -> ActivityResult:
+    """Activity analysis with exact, content-addressed result reuse.
+
+    Semantics match ``ActivityRun(circuit, delay_model, backend)``
+    driven with ``stimulus.vectors(words, n_vectors + 1)`` (first
+    vector consumed as warm-up), except that a prior identical run —
+    in this process or any other sharing *store* — is served from the
+    cache, bit for bit, with zero simulation work.  *monitor*
+    restricts only the returned view; see the module docstring.
+
+    With ``store=None`` the process default
+    (:func:`default_store` / ``REPRO_CACHE_DIR``) applies; configure
+    nothing and it degrades to a plain uncached run.
+    """
+    if n_vectors < 0:
+        raise ValueError("n_vectors must be >= 0")
+    stim = _as_word_stimulus(words)
+    if store is None:
+        store = default_store()
+    run = ActivityRun(circuit, delay_model=delay_model, backend=backend)
+    key = _key_for(run, circuit, stim, stimulus, n_vectors)
+
+    result: ActivityResult | None = None
+    if store is not None:
+        payload = store.get(key)
+        if payload is not None:
+            result = decode_result(payload, circuit, run.delay_description)
+    if result is None:
+        vectors = stimulus.vectors(stim, n_vectors + 1)
+        if shards > 1:
+            result = run.run_sharded(vectors, shards, processes=processes)
+        else:
+            result = run.run(vectors)
+        if store is not None:
+            store.put(key, encode_result(result))
+    if monitor is not None:
+        return result.restrict(monitor)
+    return result

@@ -1,0 +1,409 @@
+"""Persistent, content-addressed store for analysis results.
+
+A :class:`ResultStore` maps a :class:`RunKey` — the canonical
+fingerprints of (circuit, delay model, stimulus, vector count, result
+class) — to a serialized :class:`~repro.core.activity.ActivityResult`.
+Because every key component is a *content* hash (insertion-order
+independent circuit structure, resolved per-cell delays, declarative
+seed-stable stimulus), a hit is guaranteed to be **bit-identical** to
+recomputation: same per-net counts, same aggregates, transition for
+transition.
+
+Design points:
+
+* **result class, not backend name** — the event-driven and waveform
+  engines produce bit-identical aggregates, so both share the
+  ``"glitch-exact"`` class and serve each other's cache entries; the
+  zero-delay bit-parallel engine stores under ``"settled"``.
+* **per-net counts are keyed by net name** in the serialized payload,
+  the same identity the fingerprints use, and are re-mapped onto the
+  requesting circuit's net indices on retrieval.
+* **atomic writes** — object files and the JSON-lines index are
+  written to a temporary file and ``os.replace``d, so a crashed or
+  concurrent writer never leaves a torn entry.  Index writes *merge*
+  with the on-disk state first (minus this store's own evictions), so
+  several processes sharing one directory may race on recency but
+  cannot erase each other's entries.
+* **LRU size bound** — ``max_bytes`` caps the total object payload;
+  least-recently-*used* entries are evicted on insert.  Recency is
+  updated in memory on every hit and persisted at the next mutation.
+
+The store is a plain directory::
+
+    <root>/index.jsonl        one JSON object per entry
+    <root>/objects/<digest>.json
+    <root>/jobs/<job_id>.json (written by the batch scheduler)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.activity import ActivityResult, summarize_counts
+from repro.core.transitions import NodeActivity
+from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import content_digest
+
+#: Result classes: engines within one class are mutually bit-identical.
+GLITCH_EXACT = "glitch-exact"
+SETTLED = "settled"
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Content-addressed identity of one activity run.
+
+    All string fields are canonical fingerprints
+    (:meth:`~repro.netlist.circuit.Circuit.fingerprint`,
+    :func:`~repro.netlist.compiled.delay_fingerprint`,
+    :meth:`~repro.sim.vectors.StimulusSpec.fingerprint` with the word
+    layout bound in); *n_vectors* counts the measured cycles (warm-up
+    excluded); *result_class* is :data:`GLITCH_EXACT` or
+    :data:`SETTLED`.
+    """
+
+    circuit_fp: str
+    delay_fp: str
+    stimulus_fp: str
+    n_vectors: int
+    result_class: str
+
+    def digest(self) -> str:
+        return content_digest((
+            "runkey-v1",
+            self.circuit_fp,
+            self.delay_fp,
+            self.stimulus_fp,
+            self.n_vectors,
+            self.result_class,
+        ))
+
+
+def encode_result(result: ActivityResult) -> Dict[str, Any]:
+    """Serialize an :class:`ActivityResult` into a JSON-safe payload.
+
+    Per-net records are keyed by net *name* — the stable identity the
+    fingerprints use — so a payload can be decoded against any circuit
+    with the same fingerprint regardless of net index assignment.
+    """
+    per_node = {}
+    for net, act in result.per_node.items():
+        name = result.node_names.get(net)
+        if name is None:
+            raise ValueError(
+                f"cannot serialize result: net {net} has no recorded name"
+            )
+        per_node[name] = [
+            act.toggles, act.rises, act.useful, act.useless,
+            act.cycles_active,
+        ]
+    return {
+        "schema": 1,
+        "circuit_name": result.circuit_name,
+        "delay_description": result.delay_description,
+        "cycles": result.cycles,
+        "per_node": per_node,
+    }
+
+
+def decode_result(
+    payload: Dict[str, Any],
+    circuit: Circuit,
+    delay_description: str | None = None,
+) -> ActivityResult:
+    """Materialize a payload as an :class:`ActivityResult` for *circuit*.
+
+    Net names are mapped back onto *circuit*'s indices; metadata
+    (circuit name, node names and — when given — the delay
+    description) comes from the requesting context, so the result is
+    exactly what recomputation on *circuit* would have produced.
+    """
+    per_node: Dict[int, NodeActivity] = {}
+    for name, counts in payload["per_node"].items():
+        per_node[circuit.net(name)] = NodeActivity(*counts)
+    return ActivityResult(
+        circuit_name=circuit.name,
+        delay_description=(
+            payload["delay_description"]
+            if delay_description is None else delay_description
+        ),
+        cycles=payload["cycles"],
+        per_node=per_node,
+        node_names={n.index: n.name for n in circuit.nets},
+    )
+
+
+def payload_summary(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Headline aggregates straight from a payload (no circuit needed)."""
+    toggles = rises = useful = useless = 0
+    for counts in payload["per_node"].values():
+        toggles += counts[0]
+        rises += counts[1]
+        useful += counts[2]
+        useless += counts[3]
+    return summarize_counts(
+        payload["cycles"], toggles, rises, useful, useless
+    )
+
+
+def _atomic_write(path: Path, data: str) -> None:
+    """Write *data* to *path* via a same-directory temp file + rename."""
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """On-disk LRU cache of activity results, addressed by :class:`RunKey`.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing).
+    max_bytes:
+        Optional bound on the summed object payload sizes; exceeded
+        space is reclaimed by evicting least-recently-used entries at
+        insert time.  ``None`` means unbounded.
+    """
+
+    INDEX = "index.jsonl"
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir = self.root / "jobs"
+        self.max_bytes = max_bytes
+        #: digest -> index entry dict, in LRU order (oldest first).
+        self._index: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Digests this store removed (evicted / corrupt / cleared);
+        #: kept out of the merge so a write cannot resurrect them.
+        self._tombstones: set = set()
+        #: In-memory state (recency updates, deferred puts) not yet
+        #: persisted; see :meth:`flush` / :meth:`deferred`.
+        self._dirty = False
+        self._deferred = False
+        #: Session counters (not persisted).
+        self.hits = 0
+        self.misses = 0
+        for entry in self._read_disk_index():
+            self._index[entry["digest"]] = entry
+
+    # -- index persistence ---------------------------------------------
+    def _index_path(self) -> Path:
+        return self.root / self.INDEX
+
+    def _read_disk_index(self) -> List[Dict[str, Any]]:
+        path = self._index_path()
+        if not path.exists():
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from a dead writer
+        entries.sort(key=lambda e: e.get("last_used", 0.0))
+        return entries
+
+    def _write_index(self) -> None:
+        """Persist the index, merging with concurrent writers' entries.
+
+        Entries another process added since we loaded are folded in
+        (our in-memory view wins per digest — it holds the freshest
+        recency we know); digests this store removed stay removed.
+        """
+        merged: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        for entry in self._read_disk_index():
+            digest = entry["digest"]
+            if digest not in self._tombstones and digest not in self._index:
+                merged[digest] = entry
+        merged.update(self._index)
+        self._index = OrderedDict(sorted(
+            merged.items(), key=lambda kv: kv[1].get("last_used", 0.0)
+        ))
+        lines = "".join(
+            json.dumps(entry, sort_keys=True) + "\n"
+            for entry in self._index.values()
+        )
+        _atomic_write(self._index_path(), lines)
+        self._tombstones.clear()
+        self._dirty = False
+
+    def flush(self) -> None:
+        """Persist pending in-memory state (hit recency, deferred puts).
+
+        Read-only sessions never mutate, so without a flush their LRU
+        touches would be lost and eviction would degrade toward
+        insertion order; the CLI and scheduler flush once per command
+        or batch.  No-op when nothing is pending.
+        """
+        if self._dirty:
+            self._write_index()
+
+    @contextmanager
+    def deferred(self) -> Iterator["ResultStore"]:
+        """Batch index persistence: one write at exit instead of per put.
+
+        Object files are still written (atomically) inside the block,
+        so a crash mid-batch loses at most index entries for objects
+        that are already on disk — never stored bytes.
+        """
+        self._deferred = True
+        try:
+            yield self
+        finally:
+            self._deferred = False
+            self.flush()
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects / f"{digest}.json"
+
+    # -- core API ------------------------------------------------------
+    def get(self, key: RunKey) -> Optional[Dict[str, Any]]:
+        """The stored payload for *key*, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU recency (persisted at the next
+        mutation).  Entries whose object file is missing or corrupt
+        are treated as misses and dropped.
+        """
+        digest = key.digest()
+        entry = self._index.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            with open(self._object_path(digest)) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            del self._index[digest]
+            self._tombstones.add(digest)
+            self.misses += 1
+            return None
+        entry["last_used"] = time.time()
+        self._index.move_to_end(digest)
+        self._dirty = True
+        self.hits += 1
+        return payload
+
+    def put(self, key: RunKey, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Store *payload* under *key*; returns the index entry.
+
+        Overwrites any prior entry for the same key (idempotent), then
+        evicts LRU entries until the size bound holds again.
+        """
+        digest = key.digest()
+        data = json.dumps(payload, sort_keys=True)
+        _atomic_write(self._object_path(digest), data)
+        now = time.time()
+        entry = {
+            "digest": digest,
+            "key": asdict(key),
+            "size": len(data),
+            "summary": payload_summary(payload),
+            "circuit_name": payload.get("circuit_name"),
+            "delay_description": payload.get("delay_description"),
+            "created": now,
+            "last_used": now,
+        }
+        self._index[digest] = entry
+        self._index.move_to_end(digest)
+        self._evict_to(self.max_bytes)
+        self._dirty = True
+        if not self._deferred:
+            self._write_index()
+        return entry
+
+    def _evict_to(self, max_bytes: int | None) -> int:
+        if max_bytes is None:
+            return 0
+        evicted = 0
+        while len(self._index) > 1 and self.total_bytes() > max_bytes:
+            digest, _ = self._index.popitem(last=False)
+            self._tombstones.add(digest)
+            try:
+                os.unlink(self._object_path(digest))
+            except OSError:
+                pass
+            evicted += 1
+        return evicted
+
+    # -- maintenance / introspection -----------------------------------
+    def total_bytes(self) -> int:
+        return sum(e["size"] for e in self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: RunKey) -> bool:
+        return key.digest() in self._index
+
+    def entries(self) -> Iterable[Dict[str, Any]]:
+        """Index entries, least-recently-used first."""
+        return list(self._index.values())
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict LRU entries until at most *max_bytes* remain."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        evicted = 0
+        while self._index and self.total_bytes() > max_bytes:
+            digest, _ = self._index.popitem(last=False)
+            self._tombstones.add(digest)
+            try:
+                os.unlink(self._object_path(digest))
+            except OSError:
+                pass
+            evicted += 1
+        self._write_index()
+        return evicted
+
+    def clear(self) -> int:
+        """Drop every entry (ours and any concurrent writer's)."""
+        for entry in self._read_disk_index():
+            self._index.setdefault(entry["digest"], entry)
+        n = len(self._index)
+        for digest in list(self._index):
+            self._tombstones.add(digest)
+            try:
+                os.unlink(self._object_path(digest))
+            except OSError:
+                pass
+        self._index.clear()
+        self._write_index()
+        return n
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate store statistics plus this session's hit counters."""
+        return {
+            "root": str(self.root),
+            "entries": len(self._index),
+            "total_bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }

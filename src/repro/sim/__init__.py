@@ -46,6 +46,13 @@ from repro.sim.backends import (
 )
 from repro.sim.vectors import (
     WordStimulus,
+    StimulusSpec,
+    UniformStimulus,
+    CorrelatedStimulus,
+    BurstMarkovStimulus,
+    STIMULI,
+    make_stimulus,
+    stimulus_from_dict,
     random_words,
     correlated_words,
     walking_ones,
@@ -72,6 +79,13 @@ __all__ = [
     "get_backend",
     "select_backend",
     "WordStimulus",
+    "StimulusSpec",
+    "UniformStimulus",
+    "CorrelatedStimulus",
+    "BurstMarkovStimulus",
+    "STIMULI",
+    "make_stimulus",
+    "stimulus_from_dict",
     "random_words",
     "correlated_words",
     "walking_ones",

@@ -5,12 +5,22 @@ source-coded datapaths see essentially *random* inputs, and all its
 experiments use uniform random stimuli.  :func:`random_words` provides
 that; :func:`correlated_words` provides a lag-one correlated stream for
 the ablation that checks how much the random-input assumption matters.
+
+For the service layer (:mod:`repro.service`) streams must be
+*declarative*: a :class:`StimulusSpec` is a frozen, hashable
+description (kind + seed + parameters) that reproduces exactly the
+same vector stream on every call — which is what lets a cached
+analysis result stand in for recomputation bit for bit.  The registry
+(:data:`STIMULI` / :func:`make_stimulus`) covers the uniform random
+regime of the paper's experiments, the lag-one correlated ablation,
+and a two-state burst-Markov stream modelling idle/active traffic.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar, Dict, Iterator, List, Sequence, Tuple
 
 
 def random_words(
@@ -21,26 +31,65 @@ def random_words(
     return [rng.randint(0, top) for _ in range(count)]
 
 
+#: Dyadic resolution of the vectorized Bernoulli flip masks: per-bit
+#: flip probabilities are quantized to multiples of 2**-16.
+_FLIP_BITS = 16
+
+
+def _bernoulli_mask(rng: random.Random, width: int, threshold: int) -> int:
+    """A *width*-bit mask with each bit set with probability T/2^16.
+
+    Bit-sliced uniform comparison: bit *b* of the *j*-th
+    ``getrandbits`` draw is digit *j* of an independent 16-bit uniform
+    number for lane *b*; the classical MSB-first comparison circuit
+    (``lt``/``eq`` running masks) computes ``uniform < threshold`` for
+    all lanes at once.  ``eq`` halves every round, so the loop draws
+    ~2 masks on average instead of *width* per-bit ``rng.random()``
+    calls.
+    """
+    full = (1 << width) - 1
+    if threshold <= 0:
+        return 0
+    if threshold >= 1 << _FLIP_BITS:
+        return full
+    lt = 0
+    eq = full
+    for j in range(_FLIP_BITS - 1, -1, -1):
+        r = rng.getrandbits(width)
+        if (threshold >> j) & 1:
+            lt |= eq & ~r
+            eq &= r
+        else:
+            eq &= ~r
+        if not eq:
+            break
+    return lt
+
+
 def correlated_words(
     rng: random.Random, width: int, count: int, flip_probability: float = 0.1
 ) -> List[int]:
     """A lag-one correlated bit stream.
 
     Each bit of each word independently flips from its previous value
-    with probability *flip_probability*; 0.5 degenerates to the uniform
-    random stream, small values model slowly-varying (e.g. video)
-    signals before multiplexing destroys their correlation.
+    with probability *flip_probability* (quantized to a multiple of
+    2**-16); 0.5 degenerates to the uniform random stream, small
+    values model slowly-varying (e.g. video) signals before
+    multiplexing destroys their correlation.
+
+    The per-bit Bernoulli draws are vectorized into whole-word mask
+    operations (see :func:`_bernoulli_mask`), so cost per word is a
+    couple of ``getrandbits`` calls regardless of width.
     """
     if not 0.0 <= flip_probability <= 1.0:
         raise ValueError("flip_probability must be within [0, 1]")
+    if width <= 0:
+        return [0] * count
+    threshold = round(flip_probability * (1 << _FLIP_BITS))
     words: List[int] = []
     current = rng.randint(0, (1 << width) - 1)
     for _ in range(count):
-        flips = 0
-        for b in range(width):
-            if rng.random() < flip_probability:
-                flips |= 1 << b
-        current ^= flips
+        current ^= _bernoulli_mask(rng, width, threshold)
         words.append(current)
     return words
 
@@ -131,3 +180,175 @@ class WordStimulus:
                 values[name] = (combo >> shift) & ((1 << w) - 1)
                 shift += w
             yield self.vector(**values)
+
+
+# ---------------------------------------------------------------------------
+# Declarative stimulus specs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """A frozen, hashable description of an input stream.
+
+    A spec carries everything needed to reproduce the stream exactly
+    — kind, seed and distribution parameters — but not the circuit:
+    :meth:`vectors` binds it to a :class:`WordStimulus` at run time.
+    Two calls with equal specs and equal word structure yield
+    bit-identical streams, which is the property the service layer's
+    exact result cache rests on.
+
+    Subclasses set :attr:`kind` and implement :meth:`vectors`;
+    register them in :data:`STIMULI` to make them reachable from
+    :func:`make_stimulus` and the CLI.
+    """
+
+    seed: int = 1995
+
+    #: Registry key; stable across releases (part of fingerprints).
+    kind: ClassVar[str] = "base"
+
+    def vectors(
+        self, stim: WordStimulus, count: int
+    ) -> Iterator[Dict[int, int]]:
+        """Yield *count* per-net input vectors over *stim*'s words."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe canonical form: ``{"kind": ..., **params}``."""
+        return {"kind": self.kind, **asdict(self)}
+
+    def fingerprint(self, layout: Tuple | None = None) -> str:
+        """Stable content hash of this spec (plus optional word layout).
+
+        *layout* is the word structure the stream will be bound to —
+        ``((word_name, (net_name, ...)), ...)`` — which the service
+        includes because the same spec drives different streams over
+        different word shapes.  Without it the hash identifies the
+        spec alone.
+        """
+        from repro.netlist.compiled import content_digest
+
+        return content_digest(
+            ("stimulus-v1", tuple(sorted(self.to_dict().items())), layout)
+        )
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{k}={v}" for k, v in sorted(asdict(self).items())
+        )
+        return f"{self.kind}({params})"
+
+
+@dataclass(frozen=True)
+class UniformStimulus(StimulusSpec):
+    """Independent uniform random words — the paper's input regime.
+
+    Reproduces :meth:`WordStimulus.random` exactly (same RNG call
+    sequence), so experiments that historically drew from
+    ``stim.random(random.Random(seed), n)`` hash and replay their
+    streams unchanged.
+    """
+
+    kind: ClassVar[str] = "uniform"
+
+    def vectors(
+        self, stim: WordStimulus, count: int
+    ) -> Iterator[Dict[int, int]]:
+        return stim.random(random.Random(self.seed), count)
+
+
+@dataclass(frozen=True)
+class CorrelatedStimulus(StimulusSpec):
+    """Lag-one correlated words (see :func:`correlated_words`)."""
+
+    flip_probability: float = 0.1
+
+    kind: ClassVar[str] = "correlated"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip_probability <= 1.0:
+            raise ValueError("flip_probability must be within [0, 1]")
+
+    def vectors(
+        self, stim: WordStimulus, count: int
+    ) -> Iterator[Dict[int, int]]:
+        return stim.correlated(
+            random.Random(self.seed), count, self.flip_probability
+        )
+
+
+@dataclass(frozen=True)
+class BurstMarkovStimulus(StimulusSpec):
+    """Two-state burst-Markov words: idle (held value) vs burst (redraw).
+
+    Each word runs an independent two-state Markov chain: in the idle
+    state it holds its current value and enters a burst with
+    probability *p_burst* per cycle; in the burst state it redraws
+    uniformly every cycle and returns to idle with probability
+    *p_end*.  Models datapaths that alternate between idle traffic and
+    dense activity — a regime between the correlated and uniform
+    streams.
+    """
+
+    p_burst: float = 0.05
+    p_end: float = 0.25
+
+    kind: ClassVar[str] = "burst"
+
+    def __post_init__(self) -> None:
+        for name in ("p_burst", "p_end"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+
+    def vectors(
+        self, stim: WordStimulus, count: int
+    ) -> Iterator[Dict[int, int]]:
+        rng = random.Random(self.seed)
+        names = list(stim.words)
+        bursting = dict.fromkeys(names, False)
+        value = {
+            name: rng.randint(0, (1 << len(stim.words[name])) - 1)
+            for name in names
+        }
+        for _ in range(count):
+            values = {}
+            for name in names:
+                if bursting[name]:
+                    value[name] = rng.randint(
+                        0, (1 << len(stim.words[name])) - 1
+                    )
+                    if rng.random() < self.p_end:
+                        bursting[name] = False
+                elif rng.random() < self.p_burst:
+                    bursting[name] = True
+                values[name] = value[name]
+            yield stim.vector(**values)
+
+
+#: Registered stimulus kinds, by :attr:`StimulusSpec.kind`.
+STIMULI: Dict[str, type] = {
+    UniformStimulus.kind: UniformStimulus,
+    CorrelatedStimulus.kind: CorrelatedStimulus,
+    BurstMarkovStimulus.kind: BurstMarkovStimulus,
+}
+
+
+def make_stimulus(kind: str, **params: Any) -> StimulusSpec:
+    """Construct a registered :class:`StimulusSpec` by kind name."""
+    cls = STIMULI.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown stimulus kind {kind!r}; "
+            f"choose from {sorted(STIMULI)}"
+        )
+    return cls(**params)
+
+
+def stimulus_from_dict(doc: Dict[str, Any]) -> StimulusSpec:
+    """Rebuild a spec from its :meth:`StimulusSpec.to_dict` form."""
+    doc = dict(doc)
+    kind = doc.pop("kind", None)
+    if kind is None:
+        raise ValueError("stimulus document lacks a 'kind' field")
+    return make_stimulus(kind, **doc)

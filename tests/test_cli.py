@@ -132,3 +132,111 @@ class TestCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServiceCommands:
+    def test_analyze_cache_warm_output_matches_cold(self, tmp_path, capsys):
+        args = [
+            "analyze", "--circuit", "rca6", "--vectors", "40",
+            "--cache", str(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "[cache] simulated" in cold
+        assert "[cache] cache" in warm
+        # Everything below the cache banner is byte-identical.
+        assert cold.split("\n", 1)[1] == warm.split("\n", 1)[1]
+
+    def test_analyze_cache_matches_uncached(self, tmp_path, capsys):
+        cached = [
+            "analyze", "--circuit", "rca6", "--vectors", "40",
+            "--cache", str(tmp_path),
+        ]
+        assert main(cached) == 0
+        cached_out = capsys.readouterr().out.split("\n", 1)[1]
+        assert main(cached[:-2]) == 0
+        assert capsys.readouterr().out == cached_out
+
+    def test_experiment_cache_reports_hits(self, tmp_path, capsys):
+        args = [
+            "experiment", "table2", "--vectors", "30",
+            "--cache", str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert "0 hit(s), 4 miss(es)" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "4 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_submit_status_cache_flow(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main([
+            "submit", "--circuit", "rca4", "--vectors", "20",
+            "--sweep", "circuit=rca4,rca6", "--cache", cache,
+        ]) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s), 2 computed" in first
+        assert main([
+            "submit", "--circuit", "rca4", "--vectors", "20",
+            "--sweep", "circuit=rca4,rca6,rca8", "--cache", cache,
+        ]) == 0
+        assert "2 hit(s), 1 computed" in capsys.readouterr().out
+        assert main(["status", "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "job-0000" in out and "job-0001" in out
+        assert main(["cache", "--dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "glitch-exact" in out
+
+    def test_submit_dry_run_simulates_nothing(self, tmp_path, capsys):
+        from repro.service.store import ResultStore
+
+        cache = str(tmp_path)
+        assert main([
+            "submit", "--circuit", "rca4", "--vectors", "20",
+            "--dry-run", "--cache", cache,
+        ]) == 0
+        assert "to simulate" in capsys.readouterr().out
+        assert len(ResultStore(cache)) == 0
+
+    def test_submit_bad_sweep(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "submit", "--sweep", "bogus-axis", "--cache", str(tmp_path),
+            ])
+        with pytest.raises(SystemExit):
+            main([
+                "submit", "--sweep", "n_vectors=ten", "--cache", str(tmp_path),
+            ])
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main([
+            "analyze", "--circuit", "rca4", "--vectors", "10",
+            "--cache", cache,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--dir", cache, "--clear"]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+
+    def test_status_unknown_job(self, tmp_path):
+        with pytest.raises(SystemExit, match="no job"):
+            main(["status", "--cache", str(tmp_path), "--job", "nope"])
+
+    def test_vcd_rejects_cache(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop --cache"):
+            main([
+                "analyze", "--circuit", "rca4", "--vectors", "5",
+                "--vcd", str(tmp_path / "x.vcd"), "--cache", str(tmp_path),
+            ])
+
+    def test_cache_limit_zero_lists_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main([
+            "analyze", "--circuit", "rca4", "--vectors", "10",
+            "--cache", cache,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--dir", cache, "--limit", "0"]) == 0
+        assert "most recent" not in capsys.readouterr().out

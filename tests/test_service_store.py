@@ -1,0 +1,356 @@
+"""The persistent result store: exactness, durability, LRU bound.
+
+The load-bearing property is *exact hit semantics*: a payload decoded
+from the store must be bit-identical — per-net, count for count — to
+recomputing the run, across processes and regardless of which
+glitch-exact engine computed it.  Property-tested over random
+circuits below.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import random_dag_circuit
+from repro.core.activity import ActivityRun
+from repro.service.runner import cached_run, run_key, word_layout
+from repro.service.store import (
+    GLITCH_EXACT,
+    ResultStore,
+    RunKey,
+    decode_result,
+    encode_result,
+    payload_summary,
+)
+from repro.sim.delays import SumCarryDelay, UnitDelay
+from repro.sim.vectors import UniformStimulus, WordStimulus
+
+
+def _key(n: int = 0) -> RunKey:
+    return RunKey(f"c{n}", "d0", "s0", 100, GLITCH_EXACT)
+
+
+def _payload(n: int = 0, pad: int = 0) -> dict:
+    return {
+        "schema": 1,
+        "circuit_name": f"circ{n}",
+        "delay_description": "unit delay",
+        "cycles": 100,
+        "per_node": {f"net{n}x{'p' * pad}": [4, 2, 2, 2, 3]},
+    }
+
+
+class TestResultStoreBasics:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(_key()) is None
+        store.put(_key(), _payload())
+        assert store.get(_key()) == _payload()
+        assert store.hits == 1 and store.misses == 1
+
+    def test_persistence_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put(_key(), _payload())
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.get(_key()) == _payload()
+
+    def test_distinct_keys_distinct_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        assert store.get(_key(0))["circuit_name"] == "circ0"
+        assert store.get(_key(1))["circuit_name"] == "circ1"
+
+    def test_key_components_all_matter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = RunKey("c", "d", "s", 100, GLITCH_EXACT)
+        store.put(base, _payload())
+        for other in (
+            RunKey("c2", "d", "s", 100, GLITCH_EXACT),
+            RunKey("c", "d2", "s", 100, GLITCH_EXACT),
+            RunKey("c", "d", "s2", 100, GLITCH_EXACT),
+            RunKey("c", "d", "s", 101, GLITCH_EXACT),
+            RunKey("c", "d", "s", 100, "settled"),
+        ):
+            assert store.get(other) is None
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(), _payload())
+        store.put(_key(), _payload())
+        assert len(store) == 1
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entry = store.put(_key(), _payload())
+        (store.objects / f"{entry['digest']}.json").write_text("{broken")
+        assert store.get(_key()) is None
+        assert len(store) == 0
+
+    def test_torn_index_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(), _payload())
+        with open(tmp_path / ResultStore.INDEX, "a") as fh:
+            fh.write('{"digest": "tor')  # crashed writer mid-line
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 1
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert not list(store.objects.glob("*.json"))
+
+
+class TestLruBound:
+    def test_eviction_on_insert(self, tmp_path):
+        one = len(json.dumps(_payload(0, pad=10)))
+        store = ResultStore(tmp_path, max_bytes=3 * one)
+        for n in range(5):
+            store.put(_key(n), _payload(n, pad=10))
+        assert store.total_bytes() <= 3 * one
+        assert store.get(_key(4)) is not None  # newest survives
+
+    def test_recency_protects_entries(self, tmp_path):
+        one = len(json.dumps(_payload(0, pad=10)))
+        store = ResultStore(tmp_path, max_bytes=3 * one)
+        store.put(_key(0), _payload(0, pad=10))
+        store.put(_key(1), _payload(1, pad=10))
+        store.put(_key(2), _payload(2, pad=10))
+        assert store.get(_key(0)) is not None  # touch 0: now most recent
+        store.put(_key(3), _payload(3, pad=10))  # evicts 1, not 0
+        assert store.get(_key(0)) is not None
+        assert store.get(_key(1)) is None
+
+    def test_prune(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in range(4):
+            store.put(_key(n), _payload(n))
+        assert store.prune(0) == 4
+        assert store.total_bytes() == 0
+
+    def test_negative_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, max_bytes=-1)
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).prune(-5)
+
+
+class TestPayloadCodec:
+    def test_roundtrip_is_exact(self):
+        circuit = random_dag_circuit(random.Random(7), n_gates=15)
+        stim = WordStimulus({"i": list(circuit.inputs)})
+        result = ActivityRun(circuit).run(
+            stim.random(random.Random(3), 50)
+        )
+        back = decode_result(encode_result(result), circuit)
+        assert back.cycles == result.cycles
+        assert back.circuit_name == result.circuit_name
+        assert {n: vars(a) for n, a in back.per_node.items()} == {
+            n: vars(a) for n, a in result.per_node.items()
+        }
+        assert back.summary() == result.summary()
+
+    def test_payload_summary_matches_result_summary(self):
+        circuit = random_dag_circuit(random.Random(11), n_gates=10)
+        stim = WordStimulus({"i": list(circuit.inputs)})
+        result = ActivityRun(circuit).run(stim.random(random.Random(5), 30))
+        assert payload_summary(encode_result(result)) == result.summary()
+
+    def test_decode_remaps_by_name(self):
+        """Payloads decode against any same-named circuit build."""
+        def build(extra_first):
+            from repro.netlist.cells import CellKind
+            from repro.netlist.circuit import Circuit
+
+            c = Circuit("remap")
+            a = c.add_input("a")
+            if extra_first:  # shift net indices without changing names
+                pad = c.new_net("pad")
+            x = c.new_net("x")
+            if not extra_first:
+                pad = c.new_net("pad")
+            c.gate(CellKind.NOT, a, output=x, name="g")
+            c.gate(CellKind.BUF, x, output=pad, name="gp")
+            c.mark_output(pad)
+            return c
+
+        c1, c2 = build(False), build(True)
+        assert c1.fingerprint() == c2.fingerprint()
+        assert c1.net("x") != c2.net("x")
+        stim1 = WordStimulus({"a": [c1.net("a")]})
+        result = ActivityRun(c1).run(stim1.random(random.Random(1), 20))
+        moved = decode_result(encode_result(result), c2)
+        assert moved.node(c2.net("x")).toggles == (
+            result.node(c1.net("x")).toggles
+        )
+
+
+class TestCachedRunExactness:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        stim_seed=st.integers(min_value=0, max_value=2**16),
+        dsum=st.integers(min_value=1, max_value=3),
+    )
+    def test_hit_equals_recompute_bit_exactly(
+        self, tmp_path_factory, seed, stim_seed, dsum
+    ):
+        """Property: a cache hit is indistinguishable from recomputation."""
+        root = tmp_path_factory.mktemp("store")
+        store = ResultStore(root)
+        circuit = random_dag_circuit(
+            random.Random(seed), n_gates=14, with_ffs=True
+        )
+        words = WordStimulus({"i": list(circuit.inputs)})
+        spec = UniformStimulus(seed=stim_seed)
+        delay = SumCarryDelay(dsum=dsum, dcarry=1)
+
+        cold = cached_run(
+            circuit, words, spec, 40, delay_model=delay, store=store
+        )
+        direct = ActivityRun(circuit, delay_model=delay, backend="auto").run(
+            spec.vectors(words, 41)
+        )
+        warm = cached_run(
+            circuit, words, spec, 40, delay_model=delay, store=store
+        )
+        assert store.hits >= 1
+        for a, b in ((cold, direct), (warm, direct)):
+            assert a.cycles == b.cycles
+            assert {n: vars(x) for n, x in a.per_node.items()} == {
+                n: vars(x) for n, x in b.per_node.items()
+            }
+            assert a.summary() == b.summary()
+
+    def test_event_and_waveform_share_entries(self, tmp_path):
+        """Both glitch-exact engines address the same cache slot."""
+        circuit = random_dag_circuit(random.Random(3), n_gates=12)
+        words = WordStimulus({"i": list(circuit.inputs)})
+        spec = UniformStimulus(seed=9)
+        store = ResultStore(tmp_path)
+        by_wave = cached_run(
+            circuit, words, spec, 30, delay_model=UnitDelay(),
+            backend="waveform", store=store,
+        )
+        by_event = cached_run(
+            circuit, words, spec, 30, delay_model=UnitDelay(),
+            backend="event", store=store,
+        )
+        assert store.hits == 1 and len(store) == 1
+        assert by_event.summary() == by_wave.summary()
+
+    def test_settled_class_is_separate(self, tmp_path):
+        circuit = random_dag_circuit(random.Random(3), n_gates=12)
+        words = WordStimulus({"i": list(circuit.inputs)})
+        spec = UniformStimulus(seed=9)
+        store = ResultStore(tmp_path)
+        cached_run(
+            circuit, words, spec, 30, delay_model=UnitDelay(), store=store
+        )
+        cached_run(circuit, words, spec, 30, backend="bitparallel",
+                   store=store)
+        assert len(store) == 2
+        assert store.hits == 0
+
+    def test_monitor_restricts_view_only(self, tmp_path):
+        from repro.circuits.adders import build_rca_circuit
+
+        circuit, ports = build_rca_circuit(6, with_cin=False)
+        words = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        spec = UniformStimulus(seed=2)
+        store = ResultStore(tmp_path)
+        full = cached_run(circuit, words, spec, 60, store=store)
+        sums_only = cached_run(
+            circuit, words, spec, 60, store=store, monitor=ports["sums"]
+        )
+        assert store.hits == 1  # same entry served both views
+        assert set(sums_only.per_node) <= set(ports["sums"])
+        for n in sums_only.per_node:
+            assert vars(sums_only.per_node[n]) == vars(full.per_node[n])
+
+    def test_run_key_is_stable_across_builds(self):
+        from repro.circuits.catalog import build_named_circuit
+
+        c1, s1 = build_named_circuit("rca8")
+        c2, s2 = build_named_circuit("rca8")
+        spec = UniformStimulus(seed=5)
+        k1 = run_key(c1, s1, spec, 100, delay_model=UnitDelay())
+        k2 = run_key(c2, s2, spec, 100, delay_model=UnitDelay())
+        assert k1 == k2 and k1.digest() == k2.digest()
+        assert word_layout(c1, s1) == word_layout(c2, s2)
+
+
+class TestConcurrentWriters:
+    def test_writers_merge_instead_of_clobbering(self, tmp_path):
+        """Two stores on one directory must not erase each other's
+        entries when they rewrite the index."""
+        a = ResultStore(tmp_path)
+        a.put(_key(0), _payload(0))
+        b = ResultStore(tmp_path)  # sees entry 0
+        b.put(_key(1), _payload(1))  # disk: {0, 1}
+        a.put(_key(2), _payload(2))  # a never saw 1; must keep it
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 3
+        for n in range(3):
+            assert fresh.get(_key(n)) == _payload(n)
+
+    def test_eviction_is_not_resurrected_by_merge(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in range(4):
+            store.put(_key(n), _payload(n))
+        assert store.prune(0) == 4
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 0
+
+    def test_clear_covers_concurrent_entries(self, tmp_path):
+        a = ResultStore(tmp_path)
+        a.put(_key(0), _payload(0))
+        b = ResultStore(tmp_path)
+        b.put(_key(1), _payload(1))
+        assert a.clear() == 2  # includes the entry a never loaded
+        assert len(ResultStore(tmp_path)) == 0
+        assert not list(a.objects.glob("*.json"))
+
+
+class TestFlushAndDeferred:
+    def test_read_only_recency_persists_after_flush(self, tmp_path):
+        """Warm read-only sessions must not degrade LRU to FIFO."""
+        import json as _json
+
+        one = len(_json.dumps(_payload(0, pad=10)))
+        writer = ResultStore(tmp_path, max_bytes=3 * one)
+        for n in range(3):
+            writer.put(_key(n), _payload(n, pad=10))
+        reader = ResultStore(tmp_path)  # read-only session touches 0
+        assert reader.get(_key(0)) is not None
+        reader.flush()
+        bounded = ResultStore(tmp_path, max_bytes=3 * one)
+        bounded.put(_key(3), _payload(3, pad=10))  # evicts 1, not 0
+        assert bounded.get(_key(0)) is not None
+        assert bounded.get(_key(1)) is None
+
+    def test_flush_without_changes_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.flush()
+        assert not (tmp_path / ResultStore.INDEX).exists()
+
+    def test_deferred_writes_index_once_at_exit(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        writes = []
+        original = store._write_index
+
+        def counting():
+            writes.append(1)
+            original()
+
+        monkeypatch.setattr(store, "_write_index", counting)
+        with store.deferred():
+            for n in range(5):
+                store.put(_key(n), _payload(n))
+        assert len(writes) == 1
+        assert len(ResultStore(tmp_path)) == 5

@@ -7,10 +7,16 @@ from hypothesis import given, strategies as st
 
 from repro.netlist.circuit import Circuit
 from repro.sim.vectors import (
+    BurstMarkovStimulus,
+    CorrelatedStimulus,
+    STIMULI,
+    UniformStimulus,
     WordStimulus,
     correlated_words,
     gray_sequence,
+    make_stimulus,
     random_words,
+    stimulus_from_dict,
     walking_ones,
 )
 
@@ -36,8 +42,24 @@ class TestGenerators:
     def test_correlated_extremes(self):
         frozen = correlated_words(random.Random(2), 8, 50, 0.0)
         assert len(set(frozen)) == 1  # never flips
+        toggling = correlated_words(random.Random(2), 8, 50, 1.0)
+        for a, b in zip(toggling, toggling[1:]):
+            assert a ^ b == 0xFF  # every bit flips every word
         with pytest.raises(ValueError):
             correlated_words(random.Random(2), 8, 5, 1.5)
+
+    def test_correlated_half_probability_is_uniformish(self):
+        words = correlated_words(random.Random(9), 12, 4000, 0.5)
+        flips = sum(
+            bin(a ^ b).count("1") for a, b in zip(words, words[1:])
+        )
+        rate = flips / (12 * (len(words) - 1))
+        assert 0.48 < rate < 0.52
+
+    def test_correlated_seed_stable(self):
+        a = correlated_words(random.Random(77), 16, 100, 0.1)
+        b = correlated_words(random.Random(77), 16, 100, 0.1)
+        assert a == b
 
     def test_walking_ones(self):
         assert walking_ones(4) == [1, 2, 4, 8]
@@ -112,3 +134,79 @@ def test_random_words_determinism_property(width, seed):
     a = random_words(random.Random(seed), width, 20)
     b = random_words(random.Random(seed), width, 20)
     assert a == b
+
+
+class TestStimulusSpecs:
+    @pytest.fixture
+    def stim(self):
+        c = Circuit("t")
+        a = c.add_input_word("a", 5)
+        b = c.add_input_word("b", 3)
+        return WordStimulus({"a": a, "b": b})
+
+    @pytest.mark.parametrize("kind", sorted(STIMULI))
+    def test_seed_stable_reproduction(self, stim, kind):
+        """Two calls with an equal spec yield bit-identical streams."""
+        spec = make_stimulus(kind, seed=42)
+        assert list(spec.vectors(stim, 40)) == list(spec.vectors(stim, 40))
+
+    @pytest.mark.parametrize("kind", sorted(STIMULI))
+    def test_roundtrip_through_dict(self, kind):
+        spec = make_stimulus(kind, seed=7)
+        clone = stimulus_from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_uniform_matches_word_stimulus_random(self, stim):
+        """The paper's historical streams replay unchanged."""
+        spec = UniformStimulus(seed=1995)
+        assert list(spec.vectors(stim, 25)) == list(
+            stim.random(random.Random(1995), 25)
+        )
+
+    def test_correlated_matches_word_stimulus_correlated(self, stim):
+        spec = CorrelatedStimulus(seed=3, flip_probability=0.2)
+        assert list(spec.vectors(stim, 25)) == list(
+            stim.correlated(random.Random(3), 25, 0.2)
+        )
+
+    def test_fingerprint_separates_kinds_seeds_params(self):
+        fps = {
+            UniformStimulus(seed=1).fingerprint(),
+            UniformStimulus(seed=2).fingerprint(),
+            CorrelatedStimulus(seed=1).fingerprint(),
+            CorrelatedStimulus(seed=1, flip_probability=0.3).fingerprint(),
+            BurstMarkovStimulus(seed=1).fingerprint(),
+        }
+        assert len(fps) == 5
+
+    def test_fingerprint_binds_word_layout(self):
+        spec = UniformStimulus(seed=1)
+        layout_a = (("a", ("a[0]", "a[1]")),)
+        layout_b = (("b", ("b[0]", "b[1]")),)
+        assert spec.fingerprint(layout_a) != spec.fingerprint(layout_b)
+        assert spec.fingerprint(layout_a) == spec.fingerprint(layout_a)
+
+    def test_burst_markov_alternates_hold_and_redraw(self, stim):
+        spec = BurstMarkovStimulus(seed=11, p_burst=0.3, p_end=0.3)
+        vecs = list(spec.vectors(stim, 300))
+        a_nets = stim.words["a"]
+        values = [
+            sum(v[n] << i for i, n in enumerate(a_nets)) for v in vecs
+        ]
+        holds = sum(1 for x, y in zip(values, values[1:]) if x == y)
+        # Both regimes must actually occur.
+        assert 0 < holds < len(values) - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedStimulus(flip_probability=1.5)
+        with pytest.raises(ValueError):
+            BurstMarkovStimulus(p_burst=-0.1)
+        with pytest.raises(ValueError, match="unknown stimulus kind"):
+            make_stimulus("fractal")
+        with pytest.raises(ValueError, match="lacks a 'kind'"):
+            stimulus_from_dict({"seed": 1})
+
+    def test_specs_are_hashable(self):
+        assert len({UniformStimulus(seed=1), UniformStimulus(seed=1)}) == 1
