@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Refresh the committed simulator-throughput trajectory.
+"""Refresh the committed simulator/estimator-throughput trajectory.
 
-Runs ``bench_sim_throughput.py`` through pytest-benchmark's JSON
-export and normalizes the result into ``BENCH_sim.json`` at the repo
-root: one entry per (backend, workload) with the median wall time and
-derived cycles/s, plus per-workload speedups relative to the
-event-driven reference.  Committing the file after perf-relevant PRs
-gives the repo a reviewable perf trajectory — a regression shows up as
-a diff, not as an anecdote.
+Runs ``bench_sim_throughput.py`` and ``bench_estimate_throughput.py``
+through pytest-benchmark's JSON export and normalizes the result into
+``BENCH_sim.json`` at the repo root: one entry per (backend, workload)
+with the median wall time and derived rates, plus per-workload
+speedups relative to the event-driven reference (simulators) or the
+seed dict-walking implementation (estimators).  Committing the file
+after perf-relevant PRs gives the repo a reviewable perf trajectory —
+a regression shows up as a diff, not as an anecdote.
 
 Usage (from the repo root)::
 
@@ -35,16 +36,20 @@ import tempfile
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-BENCH = Path(__file__).resolve().parent / "bench_sim_throughput.py"
+BENCHES = [
+    Path(__file__).resolve().parent / "bench_sim_throughput.py",
+    Path(__file__).resolve().parent / "bench_estimate_throughput.py",
+]
 OUT = ROOT / "BENCH_sim.json"
 
 
 def run_benchmarks(extra_args: list[str]) -> dict:
-    """Run the throughput bench, returning pytest-benchmark's export."""
+    """Run the throughput benches, returning pytest-benchmark's export."""
     with tempfile.TemporaryDirectory() as tmp:
         export = Path(tmp) / "bench.json"
         cmd = [
-            sys.executable, "-m", "pytest", str(BENCH), "-q",
+            sys.executable, "-m", "pytest",
+            *(str(b) for b in BENCHES), "-q",
             "--benchmark-disable-gc",
             f"--benchmark-json={export}",
             *extra_args,
@@ -71,6 +76,17 @@ def normalize(data: dict) -> dict:
             # Historical single-engine series (Simulator.step loop).
             backend, n_bits, n_cycles = "event-step-loop", 16, 20
             key = f"{backend}/{n_bits}x{n_bits}"
+        elif bench["name"].startswith("test_estimate_throughput_array16"):
+            estimator = params["estimator"]
+            backend = f"estimate-{estimator}"
+            key = f"{backend}/16x16"
+            results[key] = {
+                "backend": backend,
+                "workload": "array16 multiplier, whole-netlist estimate",
+                "median_s": round(median, 6),
+                "passes_per_s": round(1.0 / median, 1),
+            }
+            continue
         else:
             continue
         results[key] = {
@@ -79,8 +95,18 @@ def normalize(data: dict) -> dict:
             "median_s": round(median, 6),
             "cycles_per_s": round(n_cycles / median, 1),
         }
-    # Speedups vs the event-driven reference, per workload size.
+    # Speedups vs each family's reference: the event-driven engine for
+    # simulators, the seed dict-walking implementation for estimators.
     for key, entry in results.items():
+        backend = entry["backend"]
+        if backend.startswith("estimate-"):
+            if not backend.endswith("-reference"):
+                ref = results.get(f"{backend}-reference/16x16")
+                if ref is not None:
+                    entry["speedup_vs_reference"] = round(
+                        ref["median_s"] / entry["median_s"], 2
+                    )
+            continue
         ref = results.get(f"event/{key.split('/', 1)[1]}")
         if ref is not None:
             entry["speedup_vs_event"] = round(
@@ -88,7 +114,10 @@ def normalize(data: dict) -> dict:
             )
     return {
         "schema": 1,
-        "source": "benchmarks/bench_sim_throughput.py",
+        "source": (
+            "benchmarks/bench_sim_throughput.py + "
+            "benchmarks/bench_estimate_throughput.py"
+        ),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": dict(sorted(results.items())),
@@ -142,11 +171,22 @@ def main(argv: list[str] | None = None) -> int:
         fh.write("\n")
     print(f"wrote {OUT}")
     for key, entry in data["results"].items():
-        speedup = entry.get("speedup_vs_event")
-        extra_txt = f"  ({speedup}x vs event)" if speedup else ""
+        if "speedup_vs_event" in entry:
+            extra_txt = f"  ({entry['speedup_vs_event']}x vs event)"
+        elif "speedup_vs_reference" in entry:
+            extra_txt = (
+                f"  ({entry['speedup_vs_reference']}x vs reference)"
+            )
+        else:
+            extra_txt = ""
+        rate = entry.get("cycles_per_s")
+        rate_txt = (
+            f"{rate:>10.1f} cycles/s" if rate is not None
+            else f"{entry['passes_per_s']:>10.1f} passes/s"
+        )
         print(
-            f"  {key:28s} {entry['median_s'] * 1000:9.3f} ms median"
-            f"  {entry['cycles_per_s']:>10.1f} cycles/s{extra_txt}"
+            f"  {key:34s} {entry['median_s'] * 1000:9.3f} ms median"
+            f"  {rate_txt}{extra_txt}"
         )
 
     if reference is not None:

@@ -65,8 +65,17 @@ from repro.service import (
     JobSpec,
     ResultStore,
     RunKey,
+    cached_estimate,
     cached_run,
     configure_default_store,
+)
+from repro.estimate import (
+    EstimateResult,
+    estimate_workload,
+    input_statistics,
+    signal_probabilities,
+    switching_activity,
+    transition_densities,
 )
 from repro.retime import pipeline_circuit, RetimingGraph, minimum_period
 from repro.opt import balance_paths, balancing_report
@@ -115,8 +124,15 @@ __all__ = [
     "JobSpec",
     "ResultStore",
     "RunKey",
+    "cached_estimate",
     "cached_run",
     "configure_default_store",
+    "EstimateResult",
+    "estimate_workload",
+    "input_statistics",
+    "signal_probabilities",
+    "switching_activity",
+    "transition_densities",
     "pipeline_circuit",
     "RetimingGraph",
     "minimum_period",

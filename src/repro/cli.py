@@ -11,7 +11,10 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli analyze --circuit rca8 --vectors 50 \
         --backend auto --vcd rca8.vcd   # falls back to event-driven
     python -m repro.cli analyze --circuit array8 --cache .repro-cache
+    python -m repro.cli analyze --circuit array8 --estimate   # + estimator gap
+    python -m repro.cli estimate --circuit array16            # analytic only
     python -m repro.cli experiment table1
+    python -m repro.cli experiment ablation                   # estimate vs sim
     python -m repro.cli experiment fig5 --cache .repro-cache  # warm = instant
     python -m repro.cli submit --circuit array8 --cache .repro-cache \
         --sweep circuit=rca8,rca16,array8 --sweep n_vectors=200,500 --jobs 4
@@ -117,6 +120,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
     else:
         delay = None
+    store = None
     if args.cache is not None:
         # Route through the service layer: exact content-addressed
         # reuse, bit-identical to the direct run below.
@@ -164,6 +168,94 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.estimate:
+        from repro.sim.vectors import UniformStimulus
+
+        estimate = _estimate_for(
+            circuit, UniformStimulus(seed=args.seed), store
+        )
+        cycles = result.cycles or 1
+        est = estimate.summary()
+        rows = [
+            [
+                "useful/cycle",
+                round(result.useful / cycles, 2),
+                est["useful"],
+            ],
+            [
+                "total/cycle",
+                round(result.total_transitions / cycles, 2),
+                est["total"],
+            ],
+            ["L/F", summary["L/F"], est["L/F"]],
+        ]
+        # The bit-parallel engine counts only settled (useful)
+        # activity, so its "total" is not glitch-inclusive — label the
+        # comparison accordingly rather than overclaim exactness.
+        sim_label = (
+            "zero-delay simulation (useful-only totals)"
+            if backend == "bitparallel" else "glitch-exact simulation"
+        )
+        print()
+        print(format_table(
+            ["metric", "simulated", "estimated"],
+            rows,
+            title=(
+                f"{circuit.name}: {sim_label} vs analytic "
+                "estimate (rates per cycle)"
+            ),
+        ))
+    return 0
+
+
+def _estimate_for(circuit: Circuit, stimulus, store):
+    """One workload estimate, through the service layer when *store* is set."""
+    if store is not None:
+        from repro.service.runner import cached_estimate
+
+        hits_before = store.hits
+        estimate = cached_estimate(circuit, stimulus, store=store)
+        source = "cache" if store.hits > hits_before else "estimated"
+        store.flush()  # persist hit recency even in read-only runs
+        print(f"[estimate cache] {source}: {store.root}")
+        return estimate
+    from repro.estimate.workload import estimate_workload
+
+    return estimate_workload(circuit, stimulus)
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.estimate.workload import net_class
+
+    circuit, _ = build_named_circuit(args.circuit)
+    stimulus = _make_stimulus_arg(args)
+    estimate = _estimate_for(circuit, stimulus, _open_store(args.cache))
+    summary = estimate.summary()
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in summary.items()],
+        title=(
+            f"{circuit.name}: analytic estimate, "
+            f"{estimate.stimulus_description} "
+            f"(p={estimate.input_probability:g}, "
+            f"D={estimate.input_density:g})"
+        ),
+    ))
+    classes = estimate.by_class(circuit)
+    rows = [
+        [
+            cls,
+            row["nets"],
+            round(row["useful"], 2),
+            round(row["density"], 2),
+        ]
+        for cls, row in sorted(classes.items())
+    ]
+    print(format_table(
+        ["net class", "nets", "zero-delay useful/cyc", "density/cyc"],
+        rows,
+        title="estimated activity per net class",
+    ))
     return 0
 
 
@@ -207,6 +299,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(format_table3(
             table3_experiment(n_vectors=args.vectors, store=store)
         ))
+    elif name == "ablation":
+        from repro.experiments.ablation import (
+            estimator_ablation_experiment,
+            format_ablation,
+        )
+
+        print(format_ablation(
+            estimator_ablation_experiment(
+                n_vectors=args.vectors, store=store
+            )
+        ))
     elif name == "adders":
         from repro.experiments.adder_sweep import (
             adder_architecture_experiment,
@@ -223,7 +326,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(
             f"unknown experiment {name!r}; "
-            "try fig5, table1, table2, sec42, table3, adders"
+            "try fig5, table1, table2, sec42, table3, adders, ablation"
         )
     if store is not None:
         store.flush()  # persist hit recency even in read-only runs
@@ -277,6 +380,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         stimulus=_make_stimulus_arg(args),
         n_vectors=args.vectors,
         backend=args.backend,
+        estimate=args.estimate,
         sweep=_parse_sweep(args.sweep),
     )
     try:
@@ -463,7 +567,35 @@ def make_parser() -> argparse.ArgumentParser:
             "identical re-runs are served bit-exactly without simulating"
         ),
     )
+    p.add_argument(
+        "--estimate", action="store_true",
+        help=(
+            "also run the analytic estimation backend on the same "
+            "workload and print the simulated-vs-estimated comparison"
+        ),
+    )
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "estimate",
+        help="analytic activity estimate (no simulation)",
+    )
+    p.add_argument("--circuit", required=True)
+    p.add_argument("--seed", type=int, default=1995)
+    p.add_argument(
+        "--stimulus", default="uniform",
+        choices=["uniform", "correlated", "burst"],
+        help="workload whose analytic input statistics drive the estimate",
+    )
+    p.add_argument("--flip-probability", type=float, default=0.1)
+    p.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help=(
+            "serve repeated estimates from the service result store at "
+            "DIR (entries are shared across stimulus seeds)"
+        ),
+    )
+    p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name")
@@ -494,10 +626,16 @@ def make_parser() -> argparse.ArgumentParser:
         choices=["auto", "event", "waveform", "bitparallel"],
     )
     p.add_argument(
+        "--estimate", action="store_true",
+        help="run the analytic estimation backend instead of simulating",
+    )
+    p.add_argument(
         "--sweep", action="append", metavar="AXIS=V1,V2,...",
         help=(
-            "sweep an axis (circuit, delay, n_vectors, seed) over "
-            "values; repeatable, axes combine as a Cartesian product"
+            "sweep an axis (circuit, delay, n_vectors, seed, estimate) "
+            "over values; repeatable, axes combine as a Cartesian "
+            "product (estimate=0,1 yields the simulate/estimate pair "
+            "per point)"
         ),
     )
     p.add_argument(

@@ -10,42 +10,66 @@ over the other inputs (spatial independence).  Unlike the zero-delay
 switching-activity model, density propagation *is* sensitive to
 multiple input changes per cycle and therefore tracks glitch-rich
 circuits more closely — but it still over/under-shoots under
-reconvergent fanout, which the ablation benchmark quantifies against
+reconvergent fanout, which the ablation experiment quantifies against
 the simulator's exact counts.
 
 Primary-input densities default to the random-vector value: a fresh
-random bit toggles with probability 1/2 per cycle.
+random bit toggles with probability 1/2 per cycle.  Stimulus-aware
+densities (correlated / burst streams) come from
+:func:`repro.estimate.workload.input_statistics`.
+
+Like :mod:`repro.estimate.probability`, the propagation runs on the
+compiled IR's per-cell fused density kernels
+(:data:`~repro.netlist.compiled.CompiledCircuit.cell_density`): one
+pass over flat per-net float arrays with the Boolean-difference
+probabilities in closed form per kind, instead of the reference
+implementation's per-(cell, pin) truth-table enumeration
+(:mod:`repro.estimate.reference`).
 """
 
 from __future__ import annotations
 
-from itertools import product as iter_product
 from typing import Dict, Mapping
 
-from repro.estimate.probability import signal_probabilities
-from repro.netlist.cells import evaluate_kind
+from repro.estimate.probability import (
+    _as_net_dict,
+    _probability_array,
+    _validated_input_values,
+)
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import CompiledCircuit, compile_circuit
 
 
-def _difference_probability(
-    cell_kind, arity: int, pin: int, out_pos: int, pin_probs: list[float]
-) -> float:
-    """P(boolean difference of output *out_pos* w.r.t. input *pin*)."""
-    others = [i for i in range(arity) if i != pin]
-    total = 0.0
-    for combo in iter_product((0, 1), repeat=len(others)):
-        weight = 1.0
-        assignment = [0] * arity
-        for idx, bit in zip(others, combo):
-            assignment[idx] = bit
-            weight *= pin_probs[idx] if bit else 1.0 - pin_probs[idx]
-        assignment[pin] = 0
-        low = evaluate_kind(cell_kind, assignment)[out_pos]
-        assignment[pin] = 1
-        high = evaluate_kind(cell_kind, assignment)[out_pos]
-        if low != high:
-            total += weight
-    return total
+def _density_array(
+    cc: CompiledCircuit,
+    probs: list,
+    input_densities: Mapping[int, float],
+) -> list:
+    """Flat per-net transition densities via the fused kernels.
+
+    *probs* is the flat one-probability array
+    (:func:`~repro.estimate.probability._probability_array`) — taken as
+    an argument so callers that already propagated probabilities (the
+    workload estimator computes probabilities, activities and
+    densities in one go) never pay the fixed-point pass twice.
+    """
+    dens = [0.0] * cc.n_nets
+    for net, d in input_densities.items():
+        dens[net] = d
+    topo = cc.topo
+    kernels = cc.cell_density
+    cell_outputs = cc.cell_outputs
+    ff_d, ff_q = cc.ff_d, cc.ff_q
+    # Feed-forward propagation; one refinement pass settles pipelines.
+    for _ in range(2 if ff_q else 1):
+        for i, q in enumerate(ff_q):
+            d = dens[ff_d[i]]
+            dens[q] = d if d < 1.0 else 1.0
+        for ci in topo:
+            outs = kernels[ci](probs, dens)
+            for net, d in zip(cell_outputs[ci], outs):
+                dens[net] = d
+    return dens
 
 
 def transition_densities(
@@ -57,46 +81,20 @@ def transition_densities(
 
     *input_densities* maps primary-input nets to expected transitions
     per cycle (scalar applies to all; 0.5 for fresh random vectors).
-    Flipflop outputs inherit their D-net's density capped at 1.0 —
-    a registered node can toggle at most once per cycle.
+    A mapping must cover every primary input and nothing else —
+    missing inputs, keys that are not primary-input nets, and
+    densities outside ``[0, 1]`` raise ``ValueError`` (a primary input
+    can toggle at most once per cycle; internal nets may well exceed
+    1.0, which is the point of the estimator).  Flipflop outputs
+    inherit their D-net's density capped at 1.0 — a registered node
+    can toggle at most once per cycle.
     """
-    if isinstance(input_densities, (int, float)):
-        dens: Dict[int, float] = {
-            n: float(input_densities) for n in circuit.inputs
-        }
-    else:
-        dens = {n: float(d) for n, d in input_densities.items()}
-    for d in dens.values():
-        if d < 0:
-            raise ValueError("densities cannot be negative")
-
-    probs = signal_probabilities(circuit, input_probs)
-    densities: Dict[int, float] = dict(dens)
-    for c in circuit.cells:
-        if c.is_sequential:
-            densities[c.outputs[0]] = 0.0  # refined below
-
-    # Feed-forward propagation; one refinement pass settles pipelines.
-    for _ in range(2 if circuit.num_flipflops else 1):
-        for c in circuit.cells:
-            if c.is_sequential:
-                densities[c.outputs[0]] = min(
-                    1.0, densities.get(c.inputs[0], 0.0)
-                )
-        for cell in circuit.topological_cells():
-            arity = len(cell.inputs)
-            pin_probs = [probs.get(n, 0.5) for n in cell.inputs]
-            for pos, out in enumerate(cell.outputs):
-                total = 0.0
-                for pin, net in enumerate(cell.inputs):
-                    d_in = densities.get(net, 0.0)
-                    if d_in == 0.0:
-                        continue
-                    total += (
-                        _difference_probability(
-                            cell.kind, arity, pin, pos, pin_probs
-                        )
-                        * d_in
-                    )
-                densities[out] = total
-    return densities
+    dens_in = _validated_input_values(
+        circuit, input_densities, "densities", 0.0, 1.0
+    )
+    probs_in = _validated_input_values(
+        circuit, input_probs, "probabilities", 0.0, 1.0
+    )
+    cc = compile_circuit(circuit)
+    probs = _probability_array(cc, probs_in)
+    return _as_net_dict(cc, _density_array(cc, probs, dens_in))

@@ -14,65 +14,111 @@ by reconvergent fanout elsewhere — one of the reasons the paper
 simulates instead.  Note these estimators see **only useful
 transitions**: a zero-delay model cannot represent glitches, which is
 precisely the gap the paper's simulation-based method fills (the
-ablation benchmark quantifies this gap).
+ablation experiment quantifies this gap).
+
+The propagation runs on the compiled circuit IR: per-cell fused
+probability kernels (:data:`~repro.netlist.compiled.CompiledCircuit.cell_prob`,
+generated at compile time alongside the simulation kernels) evaluate
+one fused pass over a flat per-net float array — no per-cell kind
+branching or truth-table enumeration per call.  The original dict
+walking implementation survives as the oracle in
+:mod:`repro.estimate.reference`; property tests pin agreement to
+1e-12.
 """
 
 from __future__ import annotations
 
-from itertools import product as iter_product
-from typing import Dict, Mapping, Sequence
+from typing import Dict, List, Mapping
 
-from repro.netlist.cells import CellKind
 from repro.netlist.circuit import Circuit
+from repro.netlist.compiled import CompiledCircuit, compile_circuit
 
 
-def _kind_probability(
-    kind: CellKind, input_probs: Sequence[float]
-) -> list[float]:
-    """Output one-probabilities of *kind* given independent input probs."""
-    if kind is CellKind.CONST0:
-        return [0.0]
-    if kind is CellKind.CONST1:
-        return [1.0]
-    if kind in (CellKind.BUF, CellKind.DFF):
-        return [input_probs[0]]
-    if kind is CellKind.NOT:
-        return [1.0 - input_probs[0]]
-    if kind is CellKind.AND:
-        p = 1.0
-        for q in input_probs:
-            p *= q
-        return [p]
-    if kind is CellKind.NAND:
-        return [1.0 - _kind_probability(CellKind.AND, input_probs)[0]]
-    if kind is CellKind.OR:
-        p = 1.0
-        for q in input_probs:
-            p *= 1.0 - q
-        return [1.0 - p]
-    if kind is CellKind.NOR:
-        return [1.0 - _kind_probability(CellKind.OR, input_probs)[0]]
-    if kind in (CellKind.XOR, CellKind.XNOR):
-        # P(odd parity) via the product identity.
-        prod = 1.0
-        for q in input_probs:
-            prod *= 1.0 - 2.0 * q
-        p_odd = (1.0 - prod) / 2.0
-        return [p_odd if kind is CellKind.XOR else 1.0 - p_odd]
-    # Small fixed-arity kinds: enumerate the truth table.
-    from repro.netlist.cells import OUTPUT_COUNT, evaluate_kind
+def _validated_input_values(
+    circuit: Circuit,
+    values: Mapping[int, float] | float,
+    what: str,
+    low: float,
+    high: float,
+) -> Dict[int, float]:
+    """Per-primary-input values from a scalar or a mapping, validated.
 
-    n_out = OUTPUT_COUNT[kind]
-    probs = [0.0] * n_out
-    for combo in iter_product((0, 1), repeat=len(input_probs)):
-        weight = 1.0
-        for bit, p in zip(combo, input_probs):
-            weight *= p if bit else 1.0 - p
-        outs = evaluate_kind(kind, combo)
-        for k in range(n_out):
-            if outs[k]:
-                probs[k] += weight
-    return probs
+    A mapping must cover **exactly** the circuit's primary inputs:
+    missing inputs and keys that are not primary-input net indices are
+    both rejected — a typo'd net id would otherwise be silently
+    ignored (or silently seed an internal net) and skew every
+    downstream number.  Values outside ``[low, high]`` are rejected.
+    """
+    if isinstance(values, (int, float)):
+        out = {n: float(values) for n in circuit.inputs}
+    else:
+        out = {n: float(p) for n, p in values.items()}
+        input_set = set(circuit.inputs)
+        unknown = set(out) - input_set
+        if unknown:
+            names = sorted(
+                circuit.net_name(n)
+                if isinstance(n, int) and 0 <= n < len(circuit.nets)
+                else repr(n)
+                for n in unknown
+            )
+            raise ValueError(
+                f"{what} keys must be primary-input net indices; "
+                f"got non-input keys {names}"
+            )
+        missing = input_set - set(out)
+        if missing:
+            raise ValueError(
+                f"missing {what} for inputs "
+                f"{sorted(circuit.net_name(n) for n in missing)}"
+            )
+    for v in out.values():
+        if not low <= v <= high:
+            raise ValueError(f"{what} must lie in [{low:g}, {high:g}]")
+    return out
+
+
+def _probability_array(
+    cc: CompiledCircuit, input_probs: Dict[int, float]
+) -> List[float]:
+    """Flat per-net one-probabilities via the fused kernels.
+
+    Undriven non-input nets read as 0.5 (maximum uncertainty), like
+    the reference implementation's ``values.get(n, 0.5)``.  Flipflop
+    outputs start at 0.5 and iterate to their D-input's steady state
+    (two passes settle feed-forward pipelines; loops run to
+    convergence or 64 rounds).
+    """
+    values = [0.5] * cc.n_nets
+    for net, p in input_probs.items():
+        values[net] = p
+    topo = cc.topo
+    kernels = cc.cell_prob
+    cell_outputs = cc.cell_outputs
+    ff_d, ff_q = cc.ff_d, cc.ff_q
+    for _ in range(64 if ff_q else 2):
+        for ci in topo:
+            outs = kernels[ci](values)
+            for net, p in zip(cell_outputs[ci], outs):
+                values[net] = p
+        changed = False
+        for i, q in enumerate(ff_q):
+            new = values[ff_d[i]]
+            if abs(values[q] - new) > 1e-12:
+                values[q] = new
+                changed = True
+        if not changed:
+            break
+    return values
+
+
+def _as_net_dict(cc: CompiledCircuit, values: List[float]) -> Dict[int, float]:
+    """Project a flat array onto the reported nets (inputs + cell outputs)."""
+    out = {n: values[n] for n in cc.inputs}
+    for outs in cc.cell_outputs:
+        for net in outs:
+            out[net] = values[net]
+    return out
 
 
 def signal_probabilities(
@@ -82,53 +128,19 @@ def signal_probabilities(
     """One-probability of every net under spatial independence.
 
     *input_probs* maps primary-input net indices to probabilities (a
-    scalar applies to all inputs).  Flipflop outputs are assigned their
-    D-input's steady-state probability by fixed-point iteration (two
-    passes suffice for feed-forward pipelines; loops iterate to
-    convergence or 64 rounds).
+    scalar applies to all inputs).  A mapping must cover every primary
+    input and nothing else: missing inputs, keys that are not
+    primary-input nets, and probabilities outside ``[0, 1]`` all raise
+    ``ValueError``.  Flipflop outputs are assigned their D-input's
+    steady-state probability by fixed-point iteration (two passes
+    suffice for feed-forward pipelines; loops iterate to convergence
+    or 64 rounds).
     """
-    if isinstance(input_probs, (int, float)):
-        probs: Dict[int, float] = {n: float(input_probs) for n in circuit.inputs}
-    else:
-        probs = {n: float(p) for n, p in input_probs.items()}
-        missing = set(circuit.inputs) - set(probs)
-        if missing:
-            raise ValueError(
-                f"missing probabilities for inputs "
-                f"{sorted(circuit.net_name(n) for n in missing)}"
-            )
-    for p in probs.values():
-        if not 0.0 <= p <= 1.0:
-            raise ValueError("probabilities must lie in [0, 1]")
-
-    values: Dict[int, float] = dict(probs)
-    ff_cells = [c for c in circuit.cells if c.is_sequential]
-    for c in ff_cells:
-        values[c.outputs[0]] = 0.5  # initial guess
-
-    order = circuit.topological_cells()
-    for _ in range(max(1, 64 if _has_state_loop(circuit) else 2)):
-        for cell in order:
-            ins = [values.get(n, 0.5) for n in cell.inputs]
-            outs = _kind_probability(cell.kind, ins)
-            for net, p in zip(cell.outputs, outs):
-                values[net] = p
-        changed = False
-        for c in ff_cells:
-            new = values.get(c.inputs[0], 0.5)
-            if abs(values[c.outputs[0]] - new) > 1e-12:
-                values[c.outputs[0]] = new
-                changed = True
-        if not changed:
-            break
-    return values
-
-
-def _has_state_loop(circuit: Circuit) -> bool:
-    """Cheap check: any DFF whose output can reach its own input?"""
-    # Conservative: if there are DFFs at all we allow extra iterations;
-    # pipelines converge after the first correction anyway.
-    return circuit.num_flipflops > 0
+    probs = _validated_input_values(
+        circuit, input_probs, "probabilities", 0.0, 1.0
+    )
+    cc = compile_circuit(circuit)
+    return _as_net_dict(cc, _probability_array(cc, probs))
 
 
 def switching_activity(

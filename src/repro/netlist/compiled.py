@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
@@ -356,6 +357,259 @@ def _fuse_bits(
     return _fuse_bits_generic(_BIT_EVALUATORS[kind], nets)
 
 
+# ---------------------------------------------------------------------------
+# Fused probability / transition-density kernels
+# ---------------------------------------------------------------------------
+#
+# The estimation layer (:mod:`repro.estimate`) propagates *floats* —
+# signal one-probabilities and Najm transition densities — through the
+# same netlist the simulators evaluate.  The seed estimators branched
+# on the cell kind and enumerated truth tables per evaluation; these
+# kernels instead specialize the closed-form propagation rule per cell
+# instance, reading flat per-net float arrays via captured indices,
+# exactly like :func:`_fuse_cell` does for bits.  They are part of the
+# compiled snapshot (memoized with it), built lazily on first
+# estimator access — see :attr:`CompiledCircuit.cell_prob`.
+#
+# A probability kernel maps the flat ``probs`` array to the cell's
+# output one-probabilities under spatial independence of its inputs.
+# A density kernel maps ``(probs, dens)`` to the cell's output
+# transition densities through Boolean-difference sensitisation:
+# ``D(y) = sum_i P(dy/dx_i) * D(x_i)`` with the difference probability
+# taken over the other inputs.  Kinds outside the closed-form tables
+# fall back to truth-table enumeration (the seed semantics), so every
+# kind keeps working; the fallback matches the specialized forms to
+# float rounding.
+
+def _prob_table_generic(kind: CellKind, nets):
+    """Truth-table probability fallback (seed enumeration order)."""
+    from itertools import product as iter_product
+
+    from repro.netlist.cells import OUTPUT_COUNT
+
+    evaluator = _EVALUATORS[kind]
+    n_out = OUTPUT_COUNT[kind]
+    combos = tuple(iter_product((0, 1), repeat=len(nets)))
+
+    def f(probs, _nets=nets, _combos=combos, _e=evaluator, _n_out=n_out):
+        out = [0.0] * _n_out
+        for combo in _combos:
+            weight = 1.0
+            for bit, net in zip(combo, _nets):
+                p = probs[net]
+                weight *= p if bit else 1.0 - p
+            outs = _e(combo)
+            for k in range(_n_out):
+                if outs[k]:
+                    out[k] += weight
+        return tuple(out)
+
+    return f
+
+
+def _fuse_prob(kind: CellKind, nets: Tuple[int, ...]):
+    """Build the fused signal-probability kernel for one cell."""
+    n = len(nets)
+    if kind is CellKind.CONST0:
+        return lambda probs: (0.0,)
+    if kind is CellKind.CONST1:
+        return lambda probs: (1.0,)
+    if kind in (CellKind.BUF, CellKind.DFF):
+        a, = nets
+        return lambda probs, _a=a: (probs[_a],)
+    if kind is CellKind.NOT:
+        a, = nets
+        return lambda probs, _a=a: (1.0 - probs[_a],)
+    if kind is CellKind.MUX2:
+        s, a, b = nets
+        return lambda probs, _s=s, _a=a, _b=b: (
+            (1.0 - probs[_s]) * probs[_a] + probs[_s] * probs[_b],
+        )
+    if kind is CellKind.HA:
+        a, b = nets
+        def f_ha(probs, _a=a, _b=b):
+            pa, pb = probs[_a], probs[_b]
+            return (pa * (1.0 - pb) + pb * (1.0 - pa), pa * pb)
+        return f_ha
+    if kind is CellKind.FA:
+        a, b, c = nets
+        def f_fa(probs, _a=a, _b=b, _c=c):
+            pa, pb, pc = probs[_a], probs[_b], probs[_c]
+            prod = (1.0 - 2.0 * pa) * (1.0 - 2.0 * pb) * (1.0 - 2.0 * pc)
+            carry = pa * pb + pc * (pa * (1.0 - pb) + pb * (1.0 - pa))
+            return ((1.0 - prod) / 2.0, carry)
+        return f_fa
+    if kind in (CellKind.AND, CellKind.NAND):
+        inv = kind is CellKind.NAND
+        if n == 2:
+            a, b = nets
+            if inv:
+                return lambda probs, _a=a, _b=b: (
+                    1.0 - probs[_a] * probs[_b],
+                )
+            return lambda probs, _a=a, _b=b: (probs[_a] * probs[_b],)
+        def f_and(probs, _n=nets, _inv=inv):
+            p = 1.0
+            for net in _n:
+                p *= probs[net]
+            return (1.0 - p,) if _inv else (p,)
+        return f_and
+    if kind in (CellKind.OR, CellKind.NOR):
+        inv = kind is CellKind.NOR
+        if n == 2:
+            a, b = nets
+            if inv:
+                return lambda probs, _a=a, _b=b: (
+                    (1.0 - probs[_a]) * (1.0 - probs[_b]),
+                )
+            return lambda probs, _a=a, _b=b: (
+                1.0 - (1.0 - probs[_a]) * (1.0 - probs[_b]),
+            )
+        def f_or(probs, _n=nets, _inv=inv):
+            q = 1.0
+            for net in _n:
+                q *= 1.0 - probs[net]
+            return (q,) if _inv else (1.0 - q,)
+        return f_or
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        inv = kind is CellKind.XNOR
+        def f_xor(probs, _n=nets, _inv=inv):
+            prod = 1.0
+            for net in _n:
+                prod *= 1.0 - 2.0 * probs[net]
+            p_odd = (1.0 - prod) / 2.0
+            return (1.0 - p_odd,) if _inv else (p_odd,)
+        return f_xor
+    return _prob_table_generic(kind, nets)
+
+
+def _density_table_generic(kind: CellKind, nets):
+    """Truth-table Boolean-difference fallback (seed enumeration order)."""
+    from itertools import product as iter_product
+
+    from repro.netlist.cells import OUTPUT_COUNT
+
+    evaluator = _EVALUATORS[kind]
+    n_out = OUTPUT_COUNT[kind]
+    arity = len(nets)
+
+    def f(probs, dens, _nets=nets, _e=evaluator, _n_out=n_out, _ar=arity):
+        totals = [0.0] * _n_out
+        for pin in range(_ar):
+            d_in = dens[_nets[pin]]
+            if d_in == 0.0:
+                continue
+            others = [i for i in range(_ar) if i != pin]
+            diff = [0.0] * _n_out
+            for combo in iter_product((0, 1), repeat=len(others)):
+                weight = 1.0
+                assignment = [0] * _ar
+                for idx, bit in zip(others, combo):
+                    assignment[idx] = bit
+                    p = probs[_nets[idx]]
+                    weight *= p if bit else 1.0 - p
+                assignment[pin] = 0
+                low = _e(assignment)
+                assignment[pin] = 1
+                high = _e(assignment)
+                for k in range(_n_out):
+                    if low[k] != high[k]:
+                        diff[k] += weight
+            for k in range(_n_out):
+                totals[k] += diff[k] * d_in
+        return tuple(totals)
+
+    return f
+
+
+def _fuse_density(kind: CellKind, nets: Tuple[int, ...]):
+    """Build the fused transition-density kernel for one cell."""
+    n = len(nets)
+    if kind in (CellKind.CONST0, CellKind.CONST1):
+        return lambda probs, dens: (0.0,)
+    if kind in (CellKind.BUF, CellKind.DFF, CellKind.NOT):
+        a, = nets
+        return lambda probs, dens, _a=a: (dens[_a],)
+    if kind in (CellKind.XOR, CellKind.XNOR):
+        # Every pin is always sensitised: D(y) = sum_i D(x_i).
+        def f_xor(probs, dens, _n=nets):
+            total = 0.0
+            for net in _n:
+                total += dens[net]
+            return (total,)
+        return f_xor
+    if kind is CellKind.MUX2:
+        s, a, b = nets
+        def f_mux(probs, dens, _s=s, _a=a, _b=b):
+            ps, pa, pb = probs[_s], probs[_a], probs[_b]
+            return (
+                (pa * (1.0 - pb) + pb * (1.0 - pa)) * dens[_s]
+                + (1.0 - ps) * dens[_a]
+                + ps * dens[_b],
+            )
+        return f_mux
+    if kind is CellKind.HA:
+        a, b = nets
+        def f_ha(probs, dens, _a=a, _b=b):
+            da, db = dens[_a], dens[_b]
+            return (da + db, probs[_b] * da + probs[_a] * db)
+        return f_ha
+    if kind is CellKind.FA:
+        a, b, c = nets
+        def f_fa(probs, dens, _a=a, _b=b, _c=c):
+            pa, pb, pc = probs[_a], probs[_b], probs[_c]
+            da, db, dc = dens[_a], dens[_b], dens[_c]
+            # d(carry)/dx = XOR of the other two inputs (majority).
+            return (
+                da + db + dc,
+                (pb * (1.0 - pc) + pc * (1.0 - pb)) * da
+                + (pa * (1.0 - pc) + pc * (1.0 - pa)) * db
+                + (pa * (1.0 - pb) + pb * (1.0 - pa)) * dc,
+            )
+        return f_fa
+    if kind in (CellKind.AND, CellKind.NAND):
+        # dy/dx_i = AND of the other inputs (inversion cancels out).
+        if n == 2:
+            a, b = nets
+            return lambda probs, dens, _a=a, _b=b: (
+                probs[_b] * dens[_a] + probs[_a] * dens[_b],
+            )
+        def f_and(probs, dens, _n=nets):
+            total = 0.0
+            for pin, net in enumerate(_n):
+                d_in = dens[net]
+                if d_in == 0.0:
+                    continue
+                w = 1.0
+                for j, other in enumerate(_n):
+                    if j != pin:
+                        w *= probs[other]
+                total += w * d_in
+            return (total,)
+        return f_and
+    if kind in (CellKind.OR, CellKind.NOR):
+        if n == 2:
+            a, b = nets
+            return lambda probs, dens, _a=a, _b=b: (
+                (1.0 - probs[_b]) * dens[_a]
+                + (1.0 - probs[_a]) * dens[_b],
+            )
+        def f_or(probs, dens, _n=nets):
+            total = 0.0
+            for pin, net in enumerate(_n):
+                d_in = dens[net]
+                if d_in == 0.0:
+                    continue
+                w = 1.0
+                for j, other in enumerate(_n):
+                    if j != pin:
+                        w *= 1.0 - probs[other]
+                total += w * d_in
+            return (total,)
+        return f_or
+    return _density_table_generic(kind, nets)
+
+
 @dataclass(frozen=True)
 class CompiledCircuit:
     """Flat arrays mirroring one :class:`Circuit` at one version.
@@ -393,6 +647,46 @@ class CompiledCircuit:
     ff_q: Tuple[int, ...]
     out_specs: Tuple[Tuple[Tuple[int, int], ...], ...] | None
     max_delay: int
+
+    # ------------------------------------------------------------------
+    # The estimator kernel tables are built lazily on first access:
+    # compiles on the simulation path (every backend, every shard
+    # worker) never pay for them, while the one compiled snapshot per
+    # (circuit, delay model) still amortizes them across estimator
+    # calls.  ``cached_property`` writes straight into the instance
+    # ``__dict__``, which the frozen dataclass permits.
+
+    @cached_property
+    def cell_prob(
+        self,
+    ) -> Tuple[Callable[[Sequence[float]], Tuple[float, ...]], ...]:
+        """Per-cell fused signal-probability kernels (:func:`_fuse_prob`).
+
+        Flat per-net float array in, output one-probabilities out.
+        The estimation layer (:mod:`repro.estimate`) runs one pass
+        over these instead of branching on kinds per cell per
+        evaluation.
+        """
+        return tuple(
+            _fuse_prob(kind, nets)
+            for kind, nets in zip(self.cell_kinds, self.cell_inputs)
+        )
+
+    @cached_property
+    def cell_density(
+        self,
+    ) -> Tuple[
+        Callable[[Sequence[float], Sequence[float]], Tuple[float, ...]], ...
+    ]:
+        """Per-cell fused transition-density kernels (:func:`_fuse_density`).
+
+        ``(probs, dens)`` flat arrays in, output Najm transition
+        densities out.
+        """
+        return tuple(
+            _fuse_density(kind, nets)
+            for kind, nets in zip(self.cell_kinds, self.cell_inputs)
+        )
 
     # ------------------------------------------------------------------
     def evaluate_flat(

@@ -14,7 +14,10 @@ with partial-hit resume:
   recomputation by construction.
 * :mod:`repro.service.runner` — :func:`cached_run`, the front door
   every cached consumer routes through, plus the process-default
-  store (``REPRO_CACHE_DIR``).
+  store (``REPRO_CACHE_DIR``) and :func:`cached_estimate`, the same
+  front door for the analytic estimation backend
+  (:mod:`repro.estimate`; entries keyed by derived input statistics,
+  shared across stimulus seeds).
 * :mod:`repro.service.jobs` — :class:`JobSpec` sweeps expanded into
   :class:`JobPoint`\\ s and executed by the :class:`BatchScheduler`
   over a ``multiprocessing`` pool; only cache-missing points
@@ -25,18 +28,23 @@ and via ``--cache DIR`` on ``analyze`` and ``experiment``.
 """
 
 from repro.service.store import (
+    ESTIMATE,
     GLITCH_EXACT,
     SETTLED,
     ResultStore,
     RunKey,
+    decode_estimate,
     decode_result,
+    encode_estimate,
     encode_result,
     payload_summary,
 )
 from repro.service.runner import (
+    cached_estimate,
     cached_run,
     configure_default_store,
     default_store,
+    estimate_key,
     run_key,
     word_layout,
 )
@@ -51,16 +59,21 @@ from repro.service.jobs import (
 )
 
 __all__ = [
+    "ESTIMATE",
     "GLITCH_EXACT",
     "SETTLED",
     "ResultStore",
     "RunKey",
+    "decode_estimate",
     "decode_result",
+    "encode_estimate",
     "encode_result",
     "payload_summary",
+    "cached_estimate",
     "cached_run",
     "configure_default_store",
     "default_store",
+    "estimate_key",
     "run_key",
     "word_layout",
     "BatchReport",

@@ -30,10 +30,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuits.catalog import build_named_circuit, validate_name
-from repro.service.runner import run_key
+from repro.service.runner import estimate_key, run_key
 from repro.service.store import (
     ResultStore,
     _atomic_write,
+    encode_estimate,
     encode_result,
     payload_summary,
 )
@@ -47,8 +48,29 @@ DELAY_MODELS = {
     "zero": lambda: None,
 }
 
-#: Sweep axes :meth:`JobSpec.points` understands.
-SWEEP_AXES = ("circuit", "delay", "n_vectors", "seed")
+#: Sweep axes :meth:`JobSpec.points` understands.  The ``estimate``
+#: axis toggles between simulated activity (False) and the analytic
+#: estimation backend (True), so one sweep can produce the
+#: estimate/simulate pair for every point.
+SWEEP_AXES = ("circuit", "delay", "n_vectors", "seed", "estimate")
+
+
+def _as_estimate_flag(value) -> bool:
+    """Coerce a sweep/CLI value for the ``estimate`` axis to a bool."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "yes", "est", "estimate"):
+            return True
+        if lowered in ("0", "false", "no", "sim", "simulate"):
+            return False
+    raise ValueError(
+        f"bad estimate axis value {value!r}; use 0/1, sim/est or "
+        "true/false"
+    )
 
 
 def resolve_delay(name: str) -> DelayModel | None:
@@ -70,8 +92,11 @@ class JobPoint:
     stimulus: StimulusSpec
     n_vectors: int
     backend: str = "auto"
+    estimate: bool = False
 
     def label(self) -> str:
+        if self.estimate:
+            return f"{self.circuit} estimate {self.stimulus.describe()}"
         return (
             f"{self.circuit} Δ{self.delay} "
             f"{self.stimulus.describe()} x{self.n_vectors}"
@@ -84,6 +109,7 @@ class JobPoint:
             "stimulus": self.stimulus.to_dict(),
             "n_vectors": self.n_vectors,
             "backend": self.backend,
+            "estimate": self.estimate,
         }
 
     @staticmethod
@@ -94,6 +120,7 @@ class JobPoint:
             stimulus=stimulus_from_dict(doc["stimulus"]),
             n_vectors=int(doc["n_vectors"]),
             backend=doc.get("backend", "auto"),
+            estimate=bool(doc.get("estimate", False)),
         )
 
 
@@ -111,6 +138,7 @@ class JobSpec:
     stimulus: StimulusSpec = field(default_factory=UniformStimulus)
     n_vectors: int = 500
     backend: str = "auto"
+    estimate: bool = False
     sweep: Dict[str, Sequence[Any]] = field(default_factory=dict)
 
     def points(self) -> List[JobPoint]:
@@ -129,6 +157,7 @@ class JobSpec:
             "delay": self.delay,
             "n_vectors": self.n_vectors,
             "seed": self.stimulus.seed,
+            "estimate": self.estimate,
         }
         points = []
         for combo in itertools.product(*(self.sweep[a] for a in axes)):
@@ -143,6 +172,7 @@ class JobSpec:
                 stimulus=replace(self.stimulus, seed=int(vals["seed"])),
                 n_vectors=int(vals["n_vectors"]),
                 backend=self.backend,
+                estimate=_as_estimate_flag(vals["estimate"]),
             ))
         return points
 
@@ -153,6 +183,7 @@ class JobSpec:
             "stimulus": self.stimulus.to_dict(),
             "n_vectors": self.n_vectors,
             "backend": self.backend,
+            "estimate": self.estimate,
             "sweep": {k: list(v) for k, v in self.sweep.items()},
         }
 
@@ -211,6 +242,10 @@ def _compute_point(doc: Dict[str, Any]) -> Dict[str, Any]:
 
     point = JobPoint.from_dict(doc)
     circuit, stim = build_named_circuit(point.circuit)
+    if point.estimate:
+        from repro.estimate.workload import estimate_workload
+
+        return encode_estimate(estimate_workload(circuit, point.stimulus))
     run = ActivityRun(
         circuit,
         delay_model=resolve_delay(point.delay),
@@ -271,11 +306,14 @@ class BatchScheduler:
                         point.circuit
                     )
                 circuit, stim = built
-                key = run_key(
-                    circuit, stim, point.stimulus, point.n_vectors,
-                    delay_model=resolve_delay(point.delay),
-                    backend=point.backend,
-                )
+                if point.estimate:
+                    key = estimate_key(circuit, point.stimulus)
+                else:
+                    key = run_key(
+                        circuit, stim, point.stimulus, point.n_vectors,
+                        delay_model=resolve_delay(point.delay),
+                        backend=point.backend,
+                    )
                 payload = self.store.get(key)
             if payload is None:
                 misses.append((point, key))
@@ -287,9 +325,13 @@ class BatchScheduler:
         """Execute *spec*: serve hits, simulate misses, persist results.
 
         Partial-hit resume falls out of the plan: only points missing
-        from the store reach the worker pool.  The job record (spec,
-        per-point status, aggregates) is written under the store's
-        ``jobs/`` directory when a store is configured.
+        from the store reach the worker pool.  Misses that share one
+        run key — estimate points, whose key ignores the seed / delay /
+        vector-count axes — are computed once and fanned back out to
+        every point, so a sweep cannot redo identical work within a
+        batch either.  The job record (spec, per-point status,
+        aggregates) is written under the store's ``jobs/`` directory
+        when a store is configured.
         """
         start = time.monotonic()
         points = spec.points()
@@ -300,21 +342,37 @@ class BatchScheduler:
                 point, "hit", payload_summary(payload)
             )
 
-        docs = [p.to_dict() for p, _ in misses]
-        if self.processes and self.processes > 1 and len(misses) > 1:
+        # Collapse key-identical misses to one computation each (keys
+        # exist only when a store is configured; without one every
+        # point is its own unit of work).
+        unique: List[Tuple[JobPoint, Any]] = []
+        slot_of: List[int] = []
+        slot_by_digest: Dict[str, int] = {}
+        for point, key in misses:
+            digest = None if key is None else key.digest()
+            if digest is not None and digest in slot_by_digest:
+                slot_of.append(slot_by_digest[digest])
+                continue
+            if digest is not None:
+                slot_by_digest[digest] = len(unique)
+            slot_of.append(len(unique))
+            unique.append((point, key))
+
+        docs = [p.to_dict() for p, _ in unique]
+        if self.processes and self.processes > 1 and len(docs) > 1:
             with multiprocessing.Pool(
-                min(self.processes, len(misses))
+                min(self.processes, len(docs))
             ) as pool:
-                payloads = pool.map(_compute_point, docs)
+                computed = pool.map(_compute_point, docs)
         else:
-            payloads = [_compute_point(doc) for doc in docs]
-        if self.store is not None and misses:
+            computed = [_compute_point(doc) for doc in docs]
+        if self.store is not None and unique:
             with self.store.deferred():  # one index write for the batch
-                for (_, key), payload in zip(misses, payloads):
+                for (_, key), payload in zip(unique, computed):
                     self.store.put(key, payload)
-        for (point, _), payload in zip(misses, payloads):
+        for (point, _), slot in zip(misses, slot_of):
             outcomes[point] = PointOutcome(
-                point, "computed", payload_summary(payload)
+                point, "computed", payload_summary(computed[slot])
             )
 
         report = BatchReport(

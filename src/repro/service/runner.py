@@ -17,6 +17,12 @@ set (all cell-driven nets); a ``monitor`` argument only restricts the
 returned view, so one cache entry serves every projection of the same
 run.
 
+:func:`cached_estimate` is the same front door for the analytic
+estimation backend (:mod:`repro.estimate`): estimator results are
+keyed by the circuit fingerprint plus the stimulus's *derived input
+statistics* (seed-independent), stored under the ``estimate`` result
+class, and served with zero estimator work on a warm hit.
+
 The default store can be set process-wide with
 :func:`configure_default_store` or the ``REPRO_CACHE_DIR`` environment
 variable, which is how ``repro.cli`` turns ``--cache DIR`` into warm
@@ -31,13 +37,20 @@ from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.activity import ActivityResult, ActivityRun
 from repro.netlist.circuit import Circuit
-from repro.netlist.compiled import delay_fingerprint
+from repro.netlist.compiled import (
+    ZERO_DELAY_FINGERPRINT,
+    content_digest,
+    delay_fingerprint,
+)
 from repro.service.store import (
+    ESTIMATE,
     GLITCH_EXACT,
     SETTLED,
     ResultStore,
     RunKey,
+    decode_estimate,
     decode_result,
+    encode_estimate,
     encode_result,
 )
 from repro.sim.backends import BACKENDS
@@ -116,6 +129,71 @@ def _key_for(
         n_vectors=n_vectors,
         result_class=GLITCH_EXACT if exact else SETTLED,
     )
+
+
+def estimate_key(circuit: Circuit, stimulus: StimulusSpec) -> RunKey:
+    """The content-addressed identity of an estimator run.
+
+    Estimates depend on the circuit and on the *analytic input
+    statistics* of the stimulus — not on its seed, nor on any delay
+    model or vector count.  The stimulus slot therefore hashes the
+    derived ``(one_probability, density)`` pair rather than the spec,
+    so differently-seeded but statistically identical workloads share
+    one entry; the delay slot is pinned to the zero-delay fingerprint
+    and the vector count to 0.
+    """
+    from repro.estimate.workload import input_statistics
+
+    return RunKey(
+        circuit_fp=circuit.fingerprint(),
+        delay_fp=ZERO_DELAY_FINGERPRINT,
+        stimulus_fp=content_digest(
+            ("estimate-stats-v1", input_statistics(stimulus))
+        ),
+        n_vectors=0,
+        result_class=ESTIMATE,
+    )
+
+
+def cached_estimate(
+    circuit: Circuit,
+    stimulus: StimulusSpec | None = None,
+    store: ResultStore | None = None,
+):
+    """Workload estimation with content-addressed result reuse.
+
+    Semantics match
+    :func:`repro.estimate.workload.estimate_workload` — one fused
+    estimator pass over the compiled IR — except that a prior
+    identical request (same circuit fingerprint, same analytic input
+    statistics) is served from *store* with zero estimator work.  A
+    single estimate is cheap; sweeps over thousands of
+    stimulus/circuit points are not, which is what the cache is for.
+
+    With ``store=None`` the process default
+    (:func:`default_store` / ``REPRO_CACHE_DIR``) applies; configure
+    nothing and it degrades to a plain uncached estimate.
+    """
+    from repro.estimate.workload import estimate_workload
+    from repro.sim.vectors import UniformStimulus
+
+    spec = stimulus if stimulus is not None else UniformStimulus()
+    if store is None:
+        store = default_store()
+    key = estimate_key(circuit, spec)
+    if store is not None:
+        payload = store.get(key)
+        if payload is not None:
+            result = decode_estimate(payload, circuit)
+            # Like decode_result's delay_description: the description
+            # reflects the *requesting* spec (entries are shared across
+            # seeds, whose describe() strings differ).
+            result.stimulus_description = spec.describe()
+            return result
+    result = estimate_workload(circuit, spec)
+    if store is not None:
+        store.put(key, encode_estimate(result))
+    return result
 
 
 def cached_run(

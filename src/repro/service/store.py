@@ -55,6 +55,10 @@ from repro.netlist.compiled import content_digest
 #: Result classes: engines within one class are mutually bit-identical.
 GLITCH_EXACT = "glitch-exact"
 SETTLED = "settled"
+#: Analytic estimator results (:mod:`repro.estimate`): per-net float
+#: rates, not simulated counts — never interchangeable with the
+#: simulation classes above.
+ESTIMATE = "estimate"
 
 
 @dataclass(frozen=True)
@@ -141,8 +145,83 @@ def decode_result(
     )
 
 
+def encode_estimate(result: "EstimateResult") -> Dict[str, Any]:
+    """Serialize an :class:`~repro.estimate.workload.EstimateResult`.
+
+    Like :func:`encode_result`, per-net records are keyed by net name
+    so a payload decodes against any circuit with the same
+    fingerprint.  Each record is ``[probability, activity, density]``;
+    monitored nets are listed by name.
+    """
+    per_net = {}
+    for net, p in result.probabilities.items():
+        name = result.node_names.get(net)
+        if name is None:
+            raise ValueError(
+                f"cannot serialize estimate: net {net} has no recorded name"
+            )
+        per_net[name] = [
+            p,
+            result.activities.get(net, 0.0),
+            result.densities.get(net, 0.0),
+        ]
+    return {
+        "schema": 1,
+        "kind": "estimate",
+        "circuit_name": result.circuit_name,
+        "stimulus_description": result.stimulus_description,
+        "input_probability": result.input_probability,
+        "input_density": result.input_density,
+        "per_net": per_net,
+        "monitored": [result.node_names[n] for n in result.monitored],
+    }
+
+
+def decode_estimate(
+    payload: Dict[str, Any], circuit: Circuit
+) -> "EstimateResult":
+    """Materialize an estimate payload against *circuit* (by net name)."""
+    from repro.estimate.workload import EstimateResult
+
+    probabilities: Dict[int, float] = {}
+    activities: Dict[int, float] = {}
+    densities: Dict[int, float] = {}
+    for name, (p, act, dens) in payload["per_net"].items():
+        net = circuit.net(name)
+        probabilities[net] = p
+        activities[net] = act
+        densities[net] = dens
+    return EstimateResult(
+        circuit_name=circuit.name,
+        stimulus_description=payload["stimulus_description"],
+        input_probability=payload["input_probability"],
+        input_density=payload["input_density"],
+        probabilities=probabilities,
+        activities=activities,
+        densities=densities,
+        monitored=tuple(circuit.net(name) for name in payload["monitored"]),
+        node_names={n.index: n.name for n in circuit.nets},
+    )
+
+
 def payload_summary(payload: Dict[str, Any]) -> Dict[str, float]:
-    """Headline aggregates straight from a payload (no circuit needed)."""
+    """Headline aggregates straight from a payload (no circuit needed).
+
+    Simulation payloads summarize their integer counts; estimate
+    payloads report per-cycle rates under the same headline keys
+    (``total`` / ``useful`` / ``useless`` / ``L/F``), so every surface
+    that tabulates summaries renders both.
+    """
+    if payload.get("kind") == "estimate":
+        from repro.estimate.workload import summarize_rates
+
+        monitored = set(payload["monitored"])
+        useful = total = 0.0
+        for name, (_, act, dens) in payload["per_net"].items():
+            if name in monitored:
+                useful += act
+                total += dens
+        return summarize_rates(len(monitored), useful, total)
     toggles = rises = useful = useless = 0
     for counts in payload["per_node"].values():
         toggles += counts[0]

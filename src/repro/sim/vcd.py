@@ -115,12 +115,19 @@ def dump_vcd(
 ) -> str:
     """Render *traces* to a VCD string (convenience wrapper).
 
-    Raises ``ValueError`` up front when the traces carry no recorded
-    events — i.e. the simulator was built without
-    ``record_events=True`` — instead of failing midway (or, for an
-    all-empty sequence, silently producing an unusable dump).
+    Raises ``ValueError`` up front when the dump would be unusable:
+    an empty trace sequence (which would otherwise render as an empty
+    string with no header), or traces carrying no recorded events —
+    i.e. the simulator was built without ``record_events=True`` —
+    instead of failing midway.
     """
     traces = list(traces)
+    if not traces:
+        raise ValueError(
+            "cannot dump VCD: the trace sequence is empty, so there is "
+            "no cycle to render; run the simulator over at least one "
+            "vector (with record_events=True) before dumping"
+        )
     missing = [t.cycle for t in traces if t.events is None]
     if missing:
         raise ValueError(

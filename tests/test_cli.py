@@ -240,3 +240,100 @@ class TestServiceCommands:
         capsys.readouterr()
         assert main(["cache", "--dir", cache, "--limit", "0"]) == 0
         assert "most recent" not in capsys.readouterr().out
+
+
+class TestEstimateCommands:
+    def test_estimate_basic(self, capsys):
+        assert main(["estimate", "--circuit", "array4"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic estimate" in out
+        assert "FA.sum" in out and "FA.carry" in out
+        assert "net class" in out
+
+    def test_estimate_stimulus_aware(self, capsys):
+        assert main([
+            "estimate", "--circuit", "rca8",
+            "--stimulus", "correlated", "--flip-probability", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "correlated" in out and "D=0.1" in out
+
+    def test_estimate_cache_warm(self, tmp_path, capsys):
+        args = ["estimate", "--circuit", "rca8", "--cache", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "[estimate cache] estimated" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "[estimate cache] cache" in warm
+        assert cold.split("\n", 1)[1] == warm.split("\n", 1)[1]
+
+    def test_estimate_cache_shared_across_seeds(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main([
+            "estimate", "--circuit", "rca8", "--seed", "1", "--cache", cache,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "estimate", "--circuit", "rca8", "--seed", "2", "--cache", cache,
+        ]) == 0
+        assert "[estimate cache] cache" in capsys.readouterr().out
+
+    def test_estimate_bad_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["estimate", "--circuit", "nonsense"])
+
+    def test_analyze_estimate_comparison(self, capsys):
+        assert main([
+            "analyze", "--circuit", "rca8", "--vectors", "50", "--estimate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out and "estimated" in out
+        assert "useful/cycle" in out and "total/cycle" in out
+
+    def test_analyze_estimate_bitparallel_labelled_honestly(self, capsys):
+        """The zero-delay engine counts useful-only totals; the
+        comparison table must not call that 'glitch-exact'."""
+        assert main([
+            "analyze", "--circuit", "rca8", "--vectors", "50",
+            "--backend", "bitparallel", "--estimate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "useful-only totals" in out
+        assert "glitch-exact" not in out
+        assert main([
+            "analyze", "--circuit", "rca8", "--vectors", "50",
+            "--backend", "waveform", "--estimate",
+        ]) == 0
+        assert "glitch-exact simulation" in capsys.readouterr().out
+
+    def test_analyze_estimate_with_cache(self, tmp_path, capsys):
+        args = [
+            "analyze", "--circuit", "rca6", "--vectors", "30",
+            "--estimate", "--cache", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "[cache] cache" in warm
+        assert "[estimate cache] cache" in warm
+
+    def test_experiment_ablation(self, capsys):
+        assert main(["experiment", "ablation", "--vectors", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate/simulate gap" in out
+        assert "total/zero-delay" in out
+        assert "array8" in out
+
+    def test_submit_estimate_sweep(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main([
+            "submit", "--circuit", "rca4", "--vectors", "20",
+            "--sweep", "estimate=0,1", "--cache", cache,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 hit(s), 2 computed" in out
+        assert "estimate" in out
+        assert main(["cache", "--dir", cache]) == 0
+        assert "estimate" in capsys.readouterr().out

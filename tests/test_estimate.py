@@ -70,6 +70,18 @@ class TestSignalProbabilities:
         with pytest.raises(ValueError, match="missing"):
             signal_probabilities(c, {a: 0.5})
 
+    def test_non_input_prob_keys_rejected(self):
+        """Regression: a typo'd net id used to be silently accepted."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.AND, a, b, name="y")
+        c.mark_output(y)
+        with pytest.raises(ValueError, match="primary-input"):
+            signal_probabilities(c, {a: 0.5, b: 0.5, y: 0.5})
+        # Entirely bogus indices are named by repr, not IndexError'd.
+        with pytest.raises(ValueError, match="primary-input"):
+            signal_probabilities(c, {a: 0.5, b: 0.5, 9999: 0.5})
+
     def test_out_of_range_rejected(self):
         c = Circuit("t")
         a = c.add_input("a")
@@ -176,6 +188,35 @@ class TestTransitionDensity:
         c.mark_output(c.gate(CellKind.BUF, a))
         with pytest.raises(ValueError):
             transition_densities(c, -0.5)
+
+    def test_density_above_one_rejected(self):
+        """Regression: only d < 0 used to be validated, but a primary
+        input cannot toggle more than once per cycle."""
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.mark_output(c.gate(CellKind.BUF, a))
+        with pytest.raises(ValueError):
+            transition_densities(c, 1.5)
+        with pytest.raises(ValueError):
+            transition_densities(c, {a: 1.5})
+
+    def test_missing_input_density_rejected(self):
+        """Regression: missing primary inputs used to default to 0.0
+        silently, understating every downstream density."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        c.mark_output(c.gate(CellKind.XOR, a, b))
+        with pytest.raises(ValueError, match="missing"):
+            transition_densities(c, {a: 0.5})
+
+    def test_non_input_density_keys_rejected(self):
+        """Regression: unknown net keys used to be silently accepted."""
+        c = Circuit("t")
+        a, b = c.add_input("a"), c.add_input("b")
+        y = c.gate(CellKind.XOR, a, b, name="y")
+        c.mark_output(y)
+        with pytest.raises(ValueError, match="primary-input"):
+            transition_densities(c, {a: 0.5, b: 0.5, y: 0.5})
 
     def test_density_tracks_glitches_better_than_zero_delay(self, rng):
         """On the RCA, density >= useful-only estimate (it sees glitches)."""

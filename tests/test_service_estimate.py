@@ -1,0 +1,227 @@
+"""Service-layer tests for the cached estimation backend.
+
+The contract mirrors the simulation cache: a warm hit is identical to
+recomputation and performs **zero estimator work** (enforced by making
+the estimator raise), keys are content-addressed (circuit fingerprint
++ derived input statistics, so stimulus seeds share entries), and the
+batch scheduler treats ``estimate`` as a sweep axis with partial-hit
+resume.
+"""
+
+import pytest
+
+from repro.circuits.catalog import build_named_circuit
+from repro.estimate.workload import estimate_workload
+from repro.service.jobs import BatchScheduler, JobSpec
+from repro.service.runner import cached_estimate, estimate_key, run_key
+from repro.service.store import (
+    ESTIMATE,
+    ResultStore,
+    decode_estimate,
+    encode_estimate,
+    payload_summary,
+)
+from repro.sim.vectors import CorrelatedStimulus, UniformStimulus
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        circuit, _ = build_named_circuit("rca8")
+        est = estimate_workload(circuit)
+        payload = encode_estimate(est)
+        back = decode_estimate(payload, circuit)
+        assert back.probabilities == est.probabilities
+        assert back.activities == est.activities
+        assert back.densities == est.densities
+        assert back.monitored == est.monitored
+        assert back.input_density == est.input_density
+
+    def test_payload_summary_matches_result_summary(self):
+        circuit, _ = build_named_circuit("array4")
+        est = estimate_workload(circuit)
+        assert payload_summary(encode_estimate(est)) == pytest.approx(
+            est.summary()
+        )
+
+    def test_decode_remaps_by_name(self):
+        """A payload decodes onto a same-fingerprint rebuild of the
+        circuit even when net indices differ from the encoder's."""
+        circuit, _ = build_named_circuit("rca4")
+        rebuilt, _ = build_named_circuit("rca4")
+        assert circuit.fingerprint() == rebuilt.fingerprint()
+        payload = encode_estimate(estimate_workload(circuit))
+        back = decode_estimate(payload, rebuilt)
+        for name, (p, _a, _d) in payload["per_net"].items():
+            assert back.probabilities[rebuilt.net(name)] == p
+
+
+class TestEstimateKey:
+    def test_seed_independent(self):
+        circuit, _ = build_named_circuit("rca8")
+        assert estimate_key(
+            circuit, UniformStimulus(seed=1)
+        ) == estimate_key(circuit, UniformStimulus(seed=2))
+
+    def test_statistics_sensitive(self):
+        circuit, _ = build_named_circuit("rca8")
+        k_uniform = estimate_key(circuit, UniformStimulus())
+        k_slow = estimate_key(
+            circuit, CorrelatedStimulus(flip_probability=0.1)
+        )
+        assert k_uniform != k_slow
+        # flip_probability = 1/2 degenerates to the uniform statistics
+        # and must share the uniform entry.
+        assert estimate_key(
+            circuit, CorrelatedStimulus(flip_probability=0.5)
+        ) == k_uniform
+
+    def test_circuit_sensitive_and_classed(self):
+        a, _ = build_named_circuit("rca8")
+        b, _ = build_named_circuit("rca16")
+        ka, kb = estimate_key(a, UniformStimulus()), estimate_key(
+            b, UniformStimulus()
+        )
+        assert ka != kb
+        assert ka.result_class == ESTIMATE
+
+    def test_distinct_from_simulation_key(self):
+        circuit, stim = build_named_circuit("rca8")
+        sim_key = run_key(circuit, stim, UniformStimulus(), 100)
+        est = estimate_key(circuit, UniformStimulus())
+        assert sim_key.digest() != est.digest()
+
+
+class TestCachedEstimate:
+    def test_warm_hit_identical_and_computes_nothing(
+        self, store, monkeypatch
+    ):
+        circuit, _ = build_named_circuit("array4")
+        cold = cached_estimate(circuit, UniformStimulus(), store=store)
+        assert store.misses == 1 and store.hits == 0
+
+        def boom(*a, **k):  # pragma: no cover - must never run
+            raise AssertionError("estimator ran on a warm hit")
+
+        monkeypatch.setattr(
+            "repro.estimate.workload.estimate_workload", boom
+        )
+        warm = cached_estimate(circuit, UniformStimulus(), store=store)
+        assert store.hits == 1
+        assert warm.probabilities == cold.probabilities
+        assert warm.activities == cold.activities
+        assert warm.densities == cold.densities
+        assert warm.monitored == cold.monitored
+
+    def test_warm_hit_across_seeds(self, store, monkeypatch):
+        circuit, _ = build_named_circuit("rca8")
+        cached_estimate(circuit, UniformStimulus(seed=1), store=store)
+        monkeypatch.setattr(
+            "repro.estimate.workload.estimate_workload",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError()),
+        )
+        warm = cached_estimate(
+            circuit, UniformStimulus(seed=99), store=store
+        )
+        # The description reflects the *requesting* spec.
+        assert "seed=99" in warm.stimulus_description
+
+    def test_no_store_degrades_to_plain_estimate(self):
+        circuit, _ = build_named_circuit("rca4")
+        est = cached_estimate(circuit, UniformStimulus(), store=None)
+        ref = estimate_workload(circuit, UniformStimulus())
+        assert est.probabilities == ref.probabilities
+
+
+class TestEstimateJobAxis:
+    def test_sweep_pairs_estimate_with_simulation(self, store):
+        spec = JobSpec(
+            circuit="rca8", n_vectors=40,
+            sweep={"estimate": [0, 1]},
+        )
+        report = BatchScheduler(store=store).run(spec)
+        assert report.n_computed == 2
+        statuses = {
+            o.point.estimate: o.status for o in report.outcomes
+        }
+        assert set(statuses) == {False, True}
+        # Both payload kinds expose the headline keys.
+        for o in report.outcomes:
+            assert {"total", "useful", "useless", "L/F"} <= set(o.summary)
+
+        # Partial-hit resume: everything is warm on resubmission.
+        report2 = BatchScheduler(store=store).run(spec)
+        assert report2.n_hits == 2 and report2.n_computed == 0
+
+    def test_estimate_points_dedupe_across_delay_axis(
+        self, store, monkeypatch
+    ):
+        """Estimates ignore the delay model, so delay-swept estimate
+        points resolve to one cache entry and one computation."""
+        calls = []
+        real = estimate_workload
+        monkeypatch.setattr(
+            "repro.estimate.workload.estimate_workload",
+            lambda *a, **k: calls.append(1) or real(*a, **k),
+        )
+        spec = JobSpec(
+            circuit="rca4", n_vectors=20, estimate=True,
+            sweep={"delay": ["unit", "sumcarry"], "seed": [1, 2]},
+        )
+        report = BatchScheduler(store=store).run(spec)
+        assert len(report.outcomes) == 4
+        assert len({o.summary["total"] for o in report.outcomes}) == 1
+        # Key-identical misses are computed once, not per point...
+        assert len(calls) == 1
+        # ...and only one entry lands in the store.
+        assert len(store) == 1
+
+    def test_estimate_axis_value_coercion(self):
+        spec = JobSpec(circuit="rca4", sweep={"estimate": ["sim", "est"]})
+        points = spec.points()
+        assert [p.estimate for p in points] == [False, True]
+        with pytest.raises(ValueError, match="estimate"):
+            JobSpec(circuit="rca4", sweep={"estimate": ["maybe"]}).points()
+
+    def test_mixed_sweep_labels(self):
+        spec = JobSpec(
+            circuit="rca4",
+            sweep={"circuit": ["rca4", "rca8"], "estimate": [0, 1]},
+        )
+        labels = [p.label() for p in spec.points()]
+        assert len(labels) == 4
+        assert sum("estimate" in lbl for lbl in labels) == 2
+
+
+class TestWarmAblationAcceptance:
+    def test_ablation_warm_rerun_does_zero_work(
+        self, store, monkeypatch
+    ):
+        """ISSUE 4 acceptance: a warm ablation re-run is identical and
+        performs neither simulation nor estimator work."""
+        from repro.experiments.ablation import estimator_ablation_experiment
+
+        circuits = ("rca4", "array4")
+        cold = estimator_ablation_experiment(
+            circuits=circuits, n_vectors=40, store=store,
+        )
+
+        import repro.core.activity as activity_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("work attempted on a warm cache")
+
+        monkeypatch.setattr(activity_mod.ActivityRun, "run", boom)
+        monkeypatch.setattr(activity_mod.ActivityRun, "run_sharded", boom)
+        monkeypatch.setattr(
+            "repro.estimate.workload.estimate_workload", boom
+        )
+        warm = estimator_ablation_experiment(
+            circuits=circuits, n_vectors=40, store=store,
+        )
+        assert warm == cold
+        assert store.hits == 2 * len(circuits)

@@ -88,6 +88,15 @@ class TestVcdOutput:
         with pytest.raises(ValueError, match="record_events=True"):
             dump_vcd(c, traces)
 
+    def test_dump_vcd_rejects_empty_trace_sequence(self):
+        """Regression: dump_vcd(circuit, []) used to return an empty
+        string with no header instead of the promised ValueError."""
+        c = _glitchy()
+        with pytest.raises(ValueError, match="empty"):
+            dump_vcd(c, [])
+        with pytest.raises(ValueError, match="empty"):
+            dump_vcd(c, iter(()))
+
     def test_dump_vcd_accepts_one_shot_iterators(self):
         """The up-front validation must not exhaust a generator input."""
         c, traces = self._traces()
