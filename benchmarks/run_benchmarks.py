@@ -39,6 +39,7 @@ ROOT = Path(__file__).resolve().parent.parent
 BENCHES = [
     Path(__file__).resolve().parent / "bench_sim_throughput.py",
     Path(__file__).resolve().parent / "bench_estimate_throughput.py",
+    Path(__file__).resolve().parent / "bench_explore.py",
 ]
 OUT = ROOT / "BENCH_sim.json"
 
@@ -87,6 +88,19 @@ def normalize(data: dict) -> dict:
                 "passes_per_s": round(1.0 / median, 1),
             }
             continue
+        elif bench["name"].startswith("test_explore_throughput_rca8"):
+            from bench_explore import N_CANDIDATES
+
+            mode = params["mode"]
+            backend = f"explore-{mode}"
+            key = f"{backend}/rca8"
+            results[key] = {
+                "backend": backend,
+                "workload": "rca8 default space, full exploration",
+                "median_s": round(median, 6),
+                "candidates_per_s": round(N_CANDIDATES / median, 1),
+            }
+            continue
         else:
             continue
         results[key] = {
@@ -107,6 +121,14 @@ def normalize(data: dict) -> dict:
                         ref["median_s"] / entry["median_s"], 2
                     )
             continue
+        if backend.startswith("explore-"):
+            if backend != "explore-sim-everything":
+                ref = results.get("explore-sim-everything/rca8")
+                if ref is not None:
+                    entry["speedup_vs_sim_everything"] = round(
+                        ref["median_s"] / entry["median_s"], 2
+                    )
+            continue
         ref = results.get(f"event/{key.split('/', 1)[1]}")
         if ref is not None:
             entry["speedup_vs_event"] = round(
@@ -114,9 +136,8 @@ def normalize(data: dict) -> dict:
             )
     return {
         "schema": 1,
-        "source": (
-            "benchmarks/bench_sim_throughput.py + "
-            "benchmarks/bench_estimate_throughput.py"
+        "source": " + ".join(
+            str(b.relative_to(ROOT)) for b in BENCHES
         ),
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -177,13 +198,19 @@ def main(argv: list[str] | None = None) -> int:
             extra_txt = (
                 f"  ({entry['speedup_vs_reference']}x vs reference)"
             )
+        elif "speedup_vs_sim_everything" in entry:
+            extra_txt = (
+                f"  ({entry['speedup_vs_sim_everything']}x vs "
+                "sim-everything)"
+            )
         else:
             extra_txt = ""
-        rate = entry.get("cycles_per_s")
-        rate_txt = (
-            f"{rate:>10.1f} cycles/s" if rate is not None
-            else f"{entry['passes_per_s']:>10.1f} passes/s"
-        )
+        if "cycles_per_s" in entry:
+            rate_txt = f"{entry['cycles_per_s']:>10.1f} cycles/s"
+        elif "candidates_per_s" in entry:
+            rate_txt = f"{entry['candidates_per_s']:>10.1f} candidates/s"
+        else:
+            rate_txt = f"{entry['passes_per_s']:>10.1f} passes/s"
         print(
             f"  {key:34s} {entry['median_s'] * 1000:9.3f} ms median"
             f"  {rate_txt}{extra_txt}"

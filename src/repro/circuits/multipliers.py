@@ -19,7 +19,7 @@ these structures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.netlist.cells import CellKind
 from repro.netlist.circuit import Circuit

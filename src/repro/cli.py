@@ -21,7 +21,11 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli status --cache .repro-cache
     python -m repro.cli cache --dir .repro-cache
     python -m repro.cli export --circuit detector --format dot
+    python -m repro.cli import design.json --action analyze
     python -m repro.cli balance --circuit rca16 --vectors 300
+    python -m repro.cli explore --circuit array8 --strategy beam \
+        --cache .repro-cache       # estimate-guided Pareto search
+    python -m repro.cli experiment frontier
 
 Circuit names: ``rcaN`` (ripple-carry adder), ``arrayN`` / ``wallaceN``
 (NxN multipliers), ``detector`` (the Section 4.2 processing unit).
@@ -225,8 +229,6 @@ def _estimate_for(circuit: Circuit, stimulus, store):
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    from repro.estimate.workload import net_class
-
     circuit, _ = build_named_circuit(args.circuit)
     stimulus = _make_stimulus_arg(args)
     estimate = _estimate_for(circuit, stimulus, _open_store(args.cache))
@@ -323,10 +325,20 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 )
             )
         )
+    elif name == "frontier":
+        from repro.experiments.explore_frontier import (
+            explore_frontier_experiment,
+            format_frontier,
+        )
+
+        print(format_frontier(
+            explore_frontier_experiment(n_vectors=args.vectors, store=store)
+        ))
     else:
         raise SystemExit(
             f"unknown experiment {name!r}; "
-            "try fig5, table1, table2, sec42, table3, adders, ablation"
+            "try fig5, table1, table2, sec42, table3, adders, ablation, "
+            "frontier"
         )
     if store is not None:
         store.flush()  # persist hit recency even in read-only runs
@@ -501,6 +513,140 @@ def cmd_export(args: argparse.Namespace) -> int:
         print(circuit_to_json(circuit, indent=2))
     else:
         print(circuit_to_dot(circuit, max_cells=args.max_cells))
+    return 0
+
+
+def _run_explore(circuit: Circuit, args: argparse.Namespace) -> int:
+    """Shared exploration path for ``explore`` and ``import --action explore``."""
+    from repro.explore.report import format_explore
+    from repro.explore.search import explore
+    from repro.explore.specs import default_space
+    from repro.sim.vectors import UniformStimulus
+
+    space = default_space(
+        delay=args.delay or "unit",
+        max_stages=args.max_stages,
+        max_depth=args.max_depth,
+        max_area_mm2=args.max_area,
+        max_latency=args.max_latency,
+    )
+    store = _open_store(args.cache)
+    try:
+        result = explore(
+            circuit,
+            space=space,
+            strategy=args.strategy,
+            beam_width=args.beam_width,
+            n_vectors=args.vectors,
+            stimulus=UniformStimulus(seed=args.seed),
+            store=store,
+            processes=args.jobs,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(format_explore(result))
+    if store is not None:
+        store.flush()  # persist hit recency even in warm runs
+        print(
+            f"[cache] {store.hits} hit(s), {store.misses} miss(es) "
+            f"at {store.root}"
+        )
+    if not any(c.on_front for c in result.candidates):
+        raise SystemExit(
+            "exploration produced an empty front; relax --max-area / "
+            "--max-latency"
+        )
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    circuit, _ = build_named_circuit(args.circuit)
+    return _run_explore(circuit, args)
+
+
+def _load_imported_circuit(path: str) -> Circuit:
+    from repro.netlist.io import circuit_from_json
+    from repro.netlist.validate import validate
+
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    try:
+        circuit = circuit_from_json(text)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"{path} is not a schema-v1 netlist: {exc}")
+    errors = [i for i in validate(circuit) if i.severity == "error"]
+    if errors:
+        detail = "; ".join(i.message for i in errors[:5])
+        raise SystemExit(f"{path} failed netlist validation: {detail}")
+    if not circuit.inputs:
+        raise SystemExit(f"{path} has no primary inputs to stimulate")
+    return circuit
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    """Load an exported/externally generated netlist and analyze it."""
+    from repro.netlist.io import words_from_inputs
+
+    circuit = _load_imported_circuit(args.path)
+    if args.action == "explore":
+        return _run_explore(circuit, args)
+    if args.action == "estimate":
+        from repro.sim.vectors import UniformStimulus
+
+        estimate = _estimate_for(
+            circuit, UniformStimulus(seed=args.seed), _open_store(args.cache)
+        )
+        print(format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in estimate.summary().items()],
+            title=(
+                f"{circuit.name} (imported): analytic estimate, "
+                f"{estimate.stimulus_description}"
+            ),
+        ))
+        return 0
+    # analyze: only this path needs the name-derived word stimulus.
+    from repro.sim.vectors import UniformStimulus, WordStimulus
+
+    try:
+        words = words_from_inputs(circuit)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    stim = WordStimulus(words)
+    delay = _delay_model(args.delay or "unit")
+    store = _open_store(args.cache)
+    if store is not None:
+        from repro.service.runner import cached_run
+
+        result = cached_run(
+            circuit, stim, UniformStimulus(seed=args.seed), args.vectors,
+            delay_model=delay, backend="auto", store=store,
+        )
+        source = "cache" if store.hits else "simulated"
+        store.flush()
+        print(f"[cache] {source}: {store.root}")
+    else:
+        run = ActivityRun(circuit, delay_model=delay, backend="auto")
+        result = run.run(
+            UniformStimulus(seed=args.seed).vectors(stim, args.vectors + 1)
+        )
+    word_desc = ", ".join(
+        f"{name}[{len(nets)}]" for name, nets in words.items()
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in result.summary().items()],
+            title=(
+                f"{circuit.name} (imported, words {word_desc}): "
+                f"{args.vectors} random vectors, "
+                f"{result.delay_description}"
+            ),
+        )
+    )
     return 0
 
 
@@ -682,6 +828,75 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--circuit", default="rca12")
     p.add_argument("--vectors", type=int, default=300)
     p.set_defaults(func=cmd_balance)
+
+    def _explore_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--vectors", type=int, default=120)
+        p.add_argument("--seed", type=int, default=1995)
+        p.add_argument(
+            "--strategy", default="beam",
+            choices=["beam", "greedy", "exhaustive"],
+            help=(
+                "exhaustive simulates every unique candidate; beam/"
+                "greedy rank with the analytic estimators and simulate "
+                "only the surviving frontier"
+            ),
+        )
+        p.add_argument(
+            "--beam-width", type=int, default=4,
+            help="candidates expanded per depth in beam search",
+        )
+        p.add_argument(
+            "--max-depth", type=int, default=2,
+            help="maximum transform-chain length",
+        )
+        p.add_argument(
+            "--max-stages", type=int, default=2,
+            help="largest retime(stages=k) transform in the space",
+        )
+        p.add_argument(
+            "--delay", default="unit", choices=["unit", "sumcarry"],
+            help="delay regime candidates are padded for and measured under",
+        )
+        p.add_argument(
+            "--max-area", type=float, default=None, metavar="MM2",
+            help="area constraint: candidates above it leave the front",
+        )
+        p.add_argument(
+            "--max-latency", type=int, default=None, metavar="STAGES",
+            help="pipeline-latency constraint (extra clock cycles)",
+        )
+        p.add_argument(
+            "--cache", default=None, metavar="DIR",
+            help=(
+                "result store: candidate sims resume warm, the whole "
+                "exploration result is served instantly on re-runs"
+            ),
+        )
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes for candidate simulations",
+        )
+
+    p = sub.add_parser(
+        "explore",
+        help="search transform combinations for minimum glitch power",
+    )
+    p.add_argument("--circuit", required=True)
+    _explore_options(p)
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "import",
+        help="load a schema-v1 JSON netlist (inverse of export) and run it",
+    )
+    p.add_argument("path", help="netlist JSON file (see repro export)")
+    p.add_argument(
+        "--action", default="analyze",
+        choices=["analyze", "estimate", "explore"],
+        help="what to run on the imported circuit",
+    )
+    _explore_options(p)
+    p.set_defaults(func=cmd_import)
 
     return parser
 

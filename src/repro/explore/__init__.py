@@ -1,0 +1,79 @@
+"""Design-space exploration: estimate-guided search for glitch reduction.
+
+The seventh architecture layer.  The paper's conclusion names two
+levers against glitch power — "balancing delay paths and/or by
+introducing flipflops" — and the earlier layers provide each piece in
+isolation: the transforms (:mod:`repro.opt`, :mod:`repro.retime`), a
+glitch-exact oracle (:mod:`repro.sim`), cheap analytic estimates
+(:mod:`repro.estimate`), and a content-addressed result service
+(:mod:`repro.service`).  This package closes the loop into an
+automated optimizer:
+
+* :mod:`repro.explore.specs` — the declarative, hashable
+  :class:`TransformSpec` catalog and :class:`ExploreSpace` (transform
+  chains × depth × delay regime × area/latency constraints);
+* :mod:`repro.explore.cost` — the multi-objective cost model: power
+  (analytic fused estimate or glitch-exact simulation), area, latency,
+  critical path;
+* :mod:`repro.explore.pareto` — Pareto-front extraction over
+  (power × area × latency);
+* :mod:`repro.explore.search` — the drivers: exhaustive sweep and
+  estimate-guided greedy/beam search, with candidate simulations
+  fanned out and cached through the service layer and the
+  estimate-vs-sim rank agreement recorded;
+* :mod:`repro.explore.report` — CLI/driver table rendering.
+
+Exposed on the CLI as ``repro explore`` and reproduced across the
+circuit catalog by :mod:`repro.experiments.explore_frontier`.
+"""
+
+from repro.explore.cost import (
+    CostContext,
+    CostVector,
+    estimated_cost,
+    rank_agreement,
+    simulated_cost,
+    transition_instants,
+)
+from repro.explore.pareto import dominated_with_margin, pareto_front
+from repro.explore.report import format_candidates, format_explore, format_front
+from repro.explore.search import (
+    Candidate,
+    ExploreResult,
+    explore,
+    explore_key,
+)
+from repro.explore.specs import (
+    TRANSFORMS,
+    Chain,
+    ExploreSpace,
+    TransformSpec,
+    apply_chain,
+    default_space,
+    describe_chain,
+)
+
+__all__ = [
+    "CostContext",
+    "CostVector",
+    "estimated_cost",
+    "rank_agreement",
+    "simulated_cost",
+    "transition_instants",
+    "dominated_with_margin",
+    "pareto_front",
+    "format_candidates",
+    "format_explore",
+    "format_front",
+    "Candidate",
+    "ExploreResult",
+    "explore",
+    "explore_key",
+    "TRANSFORMS",
+    "Chain",
+    "ExploreSpace",
+    "TransformSpec",
+    "apply_chain",
+    "default_space",
+    "describe_chain",
+]

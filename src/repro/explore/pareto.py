@@ -1,0 +1,62 @@
+"""Pareto-front extraction over (power, area, latency).
+
+All objectives are minimised.  The front keeps every non-dominated
+candidate, including exact ties (two candidates with identical cost
+vectors are both on the front — the caller has already merged
+structurally identical candidates by circuit fingerprint, so
+remaining ties are genuinely distinct design points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.explore.cost import CostVector
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    cost_of: Callable[[T], CostVector],
+) -> List[T]:
+    """The non-dominated subset of *items*, in input order."""
+    costs = [cost_of(item) for item in items]
+    front: List[T] = []
+    for i, item in enumerate(items):
+        if not any(
+            costs[j].dominates(costs[i])
+            for j in range(len(items))
+            if j != i
+        ):
+            front.append(item)
+    return front
+
+
+def dominated_with_margin(
+    cost: CostVector,
+    others: Sequence[CostVector],
+    power_margin: float = 0.05,
+) -> bool:
+    """Is *cost* clearly dominated, with a safety margin on power?
+
+    Used by the estimate-guided search to decide which candidates can
+    skip glitch-exact simulation: the analytic power estimate is a
+    ranking proxy (see :mod:`repro.explore.cost`), so a candidate is
+    pruned only when some other candidate is no worse on the *exact*
+    structural objectives (area, period, pipeline latency) **and**
+    better on estimated power by more than *power_margin* (relative).
+    Borderline candidates survive to simulation, which keeps the
+    discovered front robust against small estimate-ranking errors.
+    """
+    for other in others:
+        if other is cost:
+            continue
+        if (
+            other.area_mm2 <= cost.area_mm2
+            and other.period <= cost.period
+            and other.latency <= cost.latency
+            and other.power_mw < cost.power_mw * (1.0 - power_margin)
+        ):
+            return True
+    return False

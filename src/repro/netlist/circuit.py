@@ -9,7 +9,7 @@ methods create and register them under dotted names such as ``a[3]``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.netlist.cells import (
     Cell,

@@ -52,7 +52,15 @@ def _rebuild(
                 break
             seen.add(replacement)
             old_net = replacement
-        return net_map[old_net]
+        mapped = net_map.get(old_net)
+        if mapped is None:
+            # Undriven internal nets (legal: they read as constant 0)
+            # are materialized on demand so consumers and outputs can
+            # still reference them instead of crashing the rebuild.
+            mapped = net_map[old_net] = new.new_net(
+                circuit.net_name(old_net)
+            )
+        return mapped
 
     for cell in circuit.cells:
         if not keep_cell(cell):
@@ -189,6 +197,10 @@ def propagate_constants(circuit: Circuit) -> Circuit:
     for cell in circuit.cells:
         for out in cell.outputs:
             net_map[out] = new.new_net(circuit.net_name(out))
+    for net in circuit.nets:
+        # Undriven internal nets (constant-0 reads) survive the copy.
+        if net.index not in net_map:
+            net_map[net.index] = new.new_net(net.name)
     for cell in circuit.cells:
         pieces = replacement.get(cell.index)
         if pieces is None:

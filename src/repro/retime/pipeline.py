@@ -52,6 +52,7 @@ def pipeline_circuit(
     delay_model: DelayModel | None = None,
     period: int | None = None,
     name: str | None = None,
+    graph: RetimingGraph | None = None,
 ) -> PipelineResult:
     """Pipeline *circuit* with *stages* additional register levels.
 
@@ -60,13 +61,22 @@ def pipeline_circuit(
     is given, FEAS must achieve it with the seeded registers or a
     ``ValueError`` is raised; otherwise the minimum feasible period is
     found by binary search.
+
+    *graph* lets callers that pipeline the same circuit at several
+    depths (the design-space explorer expands ``retime(stages=k)`` for
+    a range of *k*) reuse one extracted
+    :meth:`RetimingGraph.from_circuit` instead of re-walking the
+    netlist per depth; it must have been built from *circuit* under
+    *delay_model*.
     """
     if stages < 0:
         raise ValueError("stage count cannot be negative")
     delay_model = delay_model or UnitDelay()
-    graph = RetimingGraph.from_circuit(circuit, delay_model).with_output_stages(
-        stages
-    )
+    if graph is None:
+        graph = RetimingGraph.from_circuit(circuit, delay_model)
+    elif graph.circuit is not circuit:
+        raise ValueError("graph was built from a different circuit")
+    graph = graph.with_output_stages(stages)
     if period is None:
         achieved, r = minimum_period(graph)
     else:

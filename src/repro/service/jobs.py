@@ -255,6 +255,178 @@ def _compute_point(doc: Dict[str, Any]) -> Dict[str, Any]:
     return encode_result(result)
 
 
+@dataclass
+class CircuitTask:
+    """One explicit-circuit unit of work for :func:`run_circuit_tasks`.
+
+    Unlike a :class:`JobPoint`, which names a *catalog* circuit, a
+    task ships the netlist itself as schema-v1 JSON
+    (:func:`repro.netlist.io.circuit_to_json`) so worker processes can
+    rebuild arbitrary circuits — the design-space explorer's transform
+    candidates are not catalog entries.  The word stimulus is derived
+    from the primary-input names
+    (:func:`repro.netlist.io.words_from_inputs`), which every library
+    circuit and transform pass preserves.
+    """
+
+    label: str
+    circuit_json: str
+    delay: str
+    stimulus: StimulusSpec
+    n_vectors: int
+    backend: str = "auto"
+    #: Transient parent-side cache of ``(circuit, word_stimulus)``;
+    #: never serialized (workers always rebuild from the JSON).
+    _materialized: Any = field(default=None, repr=False, compare=False)
+
+    @staticmethod
+    def from_circuit(
+        circuit,
+        delay: str,
+        stimulus: StimulusSpec,
+        n_vectors: int,
+        backend: str = "auto",
+        label: str | None = None,
+    ) -> "CircuitTask":
+        from repro.netlist.io import circuit_to_json, words_from_inputs
+        from repro.sim.vectors import WordStimulus
+
+        task = CircuitTask(
+            label=label or circuit.name,
+            circuit_json=circuit_to_json(circuit),
+            delay=delay,
+            stimulus=stimulus,
+            n_vectors=n_vectors,
+            backend=backend,
+        )
+        # The caller already holds the live circuit: keep it so the
+        # parent-side key computation does not re-parse the JSON.
+        task._materialized = (
+            circuit, WordStimulus(words_from_inputs(circuit))
+        )
+        return task
+
+    def materialize(self):
+        """``(circuit, word_stimulus)``, rebuilt from the payload once."""
+        if self._materialized is None:
+            from repro.netlist.io import circuit_from_json, words_from_inputs
+            from repro.sim.vectors import WordStimulus
+
+            circuit = circuit_from_json(self.circuit_json)
+            self._materialized = (
+                circuit, WordStimulus(words_from_inputs(circuit))
+            )
+        return self._materialized
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "circuit_json": self.circuit_json,
+            "delay": self.delay,
+            "stimulus": self.stimulus.to_dict(),
+            "n_vectors": self.n_vectors,
+            "backend": self.backend,
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "CircuitTask":
+        return CircuitTask(
+            label=doc["label"],
+            circuit_json=doc["circuit_json"],
+            delay=doc["delay"],
+            stimulus=stimulus_from_dict(doc["stimulus"]),
+            n_vectors=int(doc["n_vectors"]),
+            backend=doc.get("backend", "auto"),
+        )
+
+
+def _simulate_circuit_task(task: "CircuitTask") -> Dict[str, Any]:
+    """Simulate one task against its (possibly cached) live circuit."""
+    from repro.core.activity import ActivityRun
+
+    circuit, stim = task.materialize()
+    run = ActivityRun(
+        circuit,
+        delay_model=resolve_delay(task.delay),
+        backend=task.backend,
+    )
+    result = run.run(task.stimulus.vectors(stim, task.n_vectors + 1))
+    return encode_result(result)
+
+
+def _compute_circuit_task(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one serialized :class:`CircuitTask` (worker entry point;
+    module-level for pickling).
+
+    Like :func:`_compute_point`, workers never touch a store — the
+    parent is the single writer.
+    """
+    return _simulate_circuit_task(CircuitTask.from_dict(doc))
+
+
+def run_circuit_tasks(
+    tasks: Sequence[CircuitTask],
+    store: ResultStore | None = None,
+    processes: int | None = None,
+) -> List[Dict[str, Any]]:
+    """Execute explicit-circuit tasks with cache resume and fan-out.
+
+    Returns one serialized activity payload per task, in order.  Tasks
+    already in *store* are served without simulating (warm-cache
+    resume — re-running an exploration whose candidates were simulated
+    before does zero simulation work); key-identical misses (distinct
+    labels, fingerprint-identical circuits) are computed once; the
+    rest fan out over a ``multiprocessing`` pool when *processes* > 1.
+    All computed results are written back through the parent.
+    """
+    payloads: List[Any] = [None] * len(tasks)
+    misses: List[Tuple[int, Any]] = []
+    for i, task in enumerate(tasks):
+        key = None
+        if store is not None:
+            circuit, stim = task.materialize()
+            key = run_key(
+                circuit, stim, task.stimulus, task.n_vectors,
+                delay_model=resolve_delay(task.delay),
+                backend=task.backend,
+            )
+            payload = store.get(key)
+            if payload is not None:
+                payloads[i] = payload
+                continue
+        misses.append((i, key))
+
+    # Collapse key-identical misses to one computation each.
+    unique: List[Tuple[int, Any]] = []
+    slot_of: List[int] = []
+    slot_by_digest: Dict[str, int] = {}
+    for i, key in misses:
+        digest = None if key is None else key.digest()
+        if digest is not None and digest in slot_by_digest:
+            slot_of.append(slot_by_digest[digest])
+            continue
+        if digest is not None:
+            slot_by_digest[digest] = len(unique)
+        slot_of.append(len(unique))
+        unique.append((i, key))
+
+    if processes and processes > 1 and len(unique) > 1:
+        docs = [tasks[i].to_dict() for i, _ in unique]
+        with multiprocessing.Pool(min(processes, len(docs))) as pool:
+            computed = pool.map(_compute_circuit_task, docs)
+    else:
+        # In-process: simulate against the parent's live circuits —
+        # no JSON round-trip, and the compile memo stays warm.
+        computed = [_simulate_circuit_task(tasks[i]) for i, _ in unique]
+    if store is not None and unique:
+        with store.deferred():  # one index write for the batch
+            for (_, key), payload in zip(unique, computed):
+                store.put(key, payload)
+    for (i, _), slot in zip(misses, slot_of):
+        payloads[i] = computed[slot]
+    return payloads
+
+
 class BatchScheduler:
     """Fan a :class:`JobSpec`'s points out over workers, through the store.
 

@@ -59,6 +59,12 @@ SETTLED = "settled"
 #: rates, not simulated counts — never interchangeable with the
 #: simulation classes above.
 ESTIMATE = "estimate"
+#: Design-space exploration outcomes (:mod:`repro.explore`): the full
+#: candidate table and Pareto front of one search, keyed by (circuit,
+#: space, workload, vector count, strategy).  Aggregate-level — the
+#: per-candidate simulations are stored separately under
+#: :data:`GLITCH_EXACT` and shared with every other consumer.
+EXPLORE = "explore"
 
 
 @dataclass(frozen=True)
@@ -212,6 +218,20 @@ def payload_summary(payload: Dict[str, Any]) -> Dict[str, float]:
     (``total`` / ``useful`` / ``useless`` / ``L/F``), so every surface
     that tabulates summaries renders both.
     """
+    if payload.get("kind") == "explore":
+        # Exploration payloads aggregate a whole search; the headline
+        # "total" (the column every store surface tabulates) is the
+        # number of candidates evaluated.
+        return {
+            "total": payload.get("n_candidates", 0),
+            "candidates": payload.get("n_candidates", 0),
+            "simulated": payload.get("n_simulated", 0),
+            "front": len(payload.get("front", [])),
+            "useful": payload.get("n_simulated", 0),
+            "useless": 0,
+            "L/F": 0.0,
+            "rank_agreement": payload.get("rank_agreement", 0.0),
+        }
     if payload.get("kind") == "estimate":
         from repro.estimate.workload import summarize_rates
 

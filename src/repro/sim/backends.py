@@ -337,7 +337,7 @@ class BitParallelBackend:
         return stats
 
 
-from repro.sim.waveform import WaveformBackend  # noqa: E402  (cycle: waveform needs RunStats at run time)
+from repro.sim.waveform import WaveformBackend  # noqa: E402  (needs RunStats at run time)
 
 #: Registered backends, by canonical name (aliases resolved in
 #: :func:`get_backend`).

@@ -60,7 +60,7 @@ class VcdWriter:
 
     def _header(self) -> None:
         w = self.stream.write
-        w(f"$date reproduction of Leijten et al. DATE'95 $end\n")
+        w("$date reproduction of Leijten et al. DATE'95 $end\n")
         w(f"$timescale {self._timescale} $end\n")
         w(f"$scope module {self.circuit.name} $end\n")
         for n in self.nets:

@@ -1,7 +1,5 @@
 """Functional tests for the direction detector vs its golden model."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -337,3 +337,123 @@ class TestEstimateCommands:
         assert "estimate" in out
         assert main(["cache", "--dir", cache]) == 0
         assert "estimate" in capsys.readouterr().out
+
+
+class TestExploreCommand:
+    def test_explore_smoke(self, capsys):
+        assert main([
+            "explore", "--circuit", "rca4", "--vectors", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front" in out
+        assert "original" in out
+        assert "rank agreement" in out
+
+    def test_explore_exhaustive(self, capsys):
+        assert main([
+            "explore", "--circuit", "rca4", "--vectors", "30",
+            "--strategy", "exhaustive",
+        ]) == 0
+        assert "exhaustive search" in capsys.readouterr().out
+
+    def test_explore_cache_warm(self, tmp_path, capsys):
+        args = [
+            "explore", "--circuit", "rca4", "--vectors", "30",
+            "--cache", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "1 hit(s), 0 miss(es)" in out
+
+    def test_explore_empty_front_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="empty front"):
+            main([
+                "explore", "--circuit", "rca4", "--vectors", "20",
+                "--max-area", "0.0001",
+            ])
+
+    def test_explore_bad_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--circuit", "nonsense"])
+
+
+class TestImportCommand:
+    def _export(self, tmp_path, name="rca4"):
+        from repro.circuits.catalog import build_named_circuit as build
+        from repro.netlist.io import circuit_to_json
+
+        circuit, _ = build(name)
+        path = tmp_path / f"{name}.json"
+        path.write_text(circuit_to_json(circuit))
+        return path
+
+    def test_import_analyze_matches_native_analyze(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        assert main(["import", str(path), "--vectors", "40"]) == 0
+        imported = capsys.readouterr().out
+        assert main(["analyze", "--circuit", "rca4", "--vectors", "40"]) == 0
+        native = capsys.readouterr().out
+        # Same counts line for line: the derived word stimulus replays
+        # the catalog stream exactly.
+        for metric in ("total", "useful", "useless"):
+            line_i = [ln for ln in imported.splitlines() if metric in ln]
+            line_n = [ln for ln in native.splitlines() if metric in ln]
+            assert line_i and line_i[0].split("|")[-1] == line_n[0].split("|")[-1]
+
+    def test_import_estimate(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        assert main(["import", str(path), "--action", "estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic estimate" in out and "imported" in out
+
+    def test_import_explore(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        assert main([
+            "import", str(path), "--action", "explore", "--vectors", "20",
+        ]) == 0
+        assert "Pareto front" in capsys.readouterr().out
+
+    def test_import_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["import", str(tmp_path / "nope.json")])
+
+    def test_import_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"schema\": 99}")
+        with pytest.raises(SystemExit, match="schema"):
+            main(["import", str(path)])
+        path.write_text("not json at all")
+        with pytest.raises(SystemExit, match="not a schema-v1"):
+            main(["import", str(path)])
+
+    def test_import_rejects_inputless_netlist(self, tmp_path):
+        import json as _json
+
+        doc = {
+            "schema": 1, "name": "empty", "nets": [], "inputs": [],
+            "outputs": [], "cells": [],
+        }
+        path = tmp_path / "empty.json"
+        path.write_text(_json.dumps(doc))
+        with pytest.raises(SystemExit, match="no primary inputs"):
+            main(["import", str(path)])
+
+    def test_import_with_cache(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        cache = tmp_path / "cache"
+        args = ["import", str(path), "--vectors", "30", "--cache", str(cache)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "[cache] cache" in capsys.readouterr().out
+
+
+class TestFrontierExperiment:
+    def test_frontier_smoke(self, capsys):
+        assert main(["experiment", "frontier", "--vectors", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontier discovery" in out
+        assert "bound" in out
+        assert "array8" in out

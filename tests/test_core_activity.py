@@ -1,7 +1,5 @@
 """Unit tests for circuit-level activity accounting."""
 
-import random
-
 import pytest
 
 from repro.core.activity import ActivityResult, accumulate_traces, analyze

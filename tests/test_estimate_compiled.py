@@ -31,7 +31,6 @@ from repro.estimate.reference import (
     transition_densities_reference,
 )
 from repro.estimate.workload import (
-    EstimateResult,
     estimate_workload,
     input_statistics,
     net_class,

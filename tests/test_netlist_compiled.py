@@ -1,7 +1,5 @@
 """Unit tests for the compiled circuit IR and its memoization."""
 
-import random
-
 import pytest
 
 from repro.netlist.cells import CellKind

@@ -169,6 +169,151 @@ class TestDeadCellElimination:
         assert len(out.cells) == len(base.cells)
 
 
+class TestTransformEdgeCases:
+    """Regression tests: passes must not drop or misrewire corner nets."""
+
+    def test_strip_buffers_buf_driving_primary_output(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.gate(CellKind.BUF, a, name="b0")
+        c.mark_output(y)
+        stripped = strip_buffers(c)
+        assert len(stripped.cells) == 0
+        assert _equivalent(c, stripped, rng)
+
+    def test_strip_buffers_mid_chain_primary_outputs(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        b1 = c.gate(CellKind.BUF, a, name="b1")
+        b2 = c.gate(CellKind.BUF, b1, name="b2")
+        c.mark_output(b1)
+        c.mark_output(b2)
+        stripped = strip_buffers(c)
+        assert len(stripped.cells) == 0
+        assert len(stripped.outputs) == 2
+        assert _equivalent(c, stripped, rng)
+
+    def test_strip_buffers_chain_feeding_flipflop(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        n = a
+        for i in range(3):
+            n = c.gate(CellKind.BUF, n, name=f"b{i}")
+        q = c.add_dff(n, name="ff")
+        c.mark_output(q)
+        stripped = strip_buffers(c)
+        assert stripped.num_flipflops == 1
+        assert len(stripped.cells) == 1
+        # The DFF's D pin must land on the chain's source, not a
+        # dropped buffer net.
+        ff = stripped.cells[0]
+        assert stripped.net_name(ff.inputs[0]) == "a"
+
+    def test_strip_buffers_undriven_buffer_input(self, rng):
+        # Regression: _rebuild used to KeyError when a kept consumer
+        # (or output) resolved to an undriven internal net.
+        c = Circuit("t")
+        a = c.add_input("a")
+        floating = c.new_net("float")
+        y = c.gate(CellKind.BUF, floating, name="b")
+        z = c.gate(CellKind.OR, a, y, name="g")
+        c.mark_output(z)
+        stripped = strip_buffers(c)
+        assert _equivalent(c, stripped, rng)
+
+    def test_dce_with_undriven_consumer(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        floating = c.new_net("float")
+        y = c.gate(CellKind.OR, a, floating, name="g")
+        c.mark_output(y)
+        out = dead_cell_elimination(c)
+        assert _equivalent(c, out, rng)
+
+    def test_propagate_constants_undriven_consumer(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        floating = c.new_net("float")
+        y = c.gate(CellKind.OR, a, floating, name="g")
+        c.mark_output(y)
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+
+    def test_propagate_constants_constant_driven_output(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        one = c.add_cell(CellKind.CONST1, [], name="k1").outputs[0]
+        z = c.gate(CellKind.OR, one, one, name="h")  # folds to CONST1
+        c.mark_output(z)
+        c.mark_output(a)
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+        # The folded constant must keep driving the primary output.
+        assert out.kind_histogram().get("CONST1", 0) == 1
+        assert out.kind_histogram().get("OR", 0) == 0
+
+    def test_propagate_constants_folded_cell_feeding_flipflop(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        zero = c.add_cell(CellKind.CONST0, [], name="k0").outputs[0]
+        y = c.gate(CellKind.AND, a, zero, name="g")  # folds to CONST0
+        q = c.add_dff(y, name="ff")
+        c.mark_output(q)
+        out = propagate_constants(c)
+        kinds = out.kind_histogram()
+        assert kinds.get("DFF", 0) == 1
+        assert kinds.get("AND", 0) == 0
+        assert kinds.get("CONST0", 0) == 1
+
+    def test_propagate_constants_ha_buf_driving_outputs(self, rng):
+        c = Circuit("t")
+        a = c.add_input("a")
+        zero = c.add_cell(CellKind.CONST0, [], name="k0").outputs[0]
+        ha = c.add_cell(CellKind.HA, [a, zero], name="ha")
+        c.mark_output(ha.outputs[0])  # sum -> BUF(a)
+        c.mark_output(ha.outputs[1])  # carry -> CONST0, drives a PO
+        out = propagate_constants(c)
+        assert _equivalent(c, out, rng)
+        kinds = out.kind_histogram()
+        assert kinds.get("HA", 0) == 0
+        assert kinds.get("BUF", 0) == 1
+        assert kinds.get("CONST0", 0) == 1
+
+
+class TestTransformComposition:
+    """Property: un-balancing recovers the original circuit."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        model=st.sampled_from(["unit", "sumcarry"]),
+        with_ffs=st.booleans(),
+    )
+    def test_strip_buffers_inverts_balance(self, seed, model, with_ffs):
+        rng = random.Random(seed)
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=10, with_ffs=with_ffs)
+        delay = (
+            SumCarryDelay(dsum=2, dcarry=1) if model == "sumcarry" else None
+        )
+        balanced, _ = balance_paths(c, delay)
+        recovered = strip_buffers(balanced)
+        # Functionally equivalent to the original...
+        eq_rng = random.Random(seed ^ 0x5EED)
+        for _ in range(25):
+            bits = [eq_rng.randint(0, 1) for _ in c.inputs]
+            state = {}
+            state2 = {}
+            v1, state = c.evaluate(bits, state)
+            v2, state2 = recovered.evaluate(bits, state2)
+            assert [v1[n] for n in c.outputs] == [
+                v2[n] for n in recovered.outputs
+            ]
+        # ...and cell-count-identical after cleanup (stripping both
+        # sides removes any BUFs the random circuit already had).
+        assert len(recovered.cells) == len(strip_buffers(c).cells)
+        assert recovered.num_flipflops == c.num_flipflops
+
+
 class TestConstantPropagation:
     def test_folds_constant_cone(self, rng):
         c = Circuit("t")

@@ -14,12 +14,10 @@ These encode the definitional invariants of the paper's method over
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.activity import analyze
 from repro.netlist.cells import CellKind
-from repro.netlist.circuit import Circuit
 from repro.opt.balance import balance_paths
 from repro.retime.pipeline import pipeline_circuit
 from repro.sim.delays import PerKindDelay, SumCarryDelay, UnitDelay

@@ -4,8 +4,6 @@ import pytest
 
 from repro.circuits.adders import build_rca_circuit
 from repro.circuits.multipliers import build_multiplier_circuit
-from repro.netlist.cells import CellKind
-from repro.netlist.circuit import Circuit
 from repro.netlist.validate import validate
 from repro.retime.apply import apply_retiming
 from repro.retime.graph import RetimingGraph
