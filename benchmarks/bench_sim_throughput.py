@@ -10,6 +10,13 @@ the heaviest netlists in the reproduction.
 * ``test_sim_throughput_backends`` parametrizes the same workload over
   the pluggable backends (event-driven vs waveform vs bit-parallel)
   and adds a 32x32 case, so backend wins are tracked per size.
+* ``test_sim_throughput_codegen_tiers`` measures the generated-kernel
+  tiers (codegen and, with the ``[perf]`` extra, vector) on 256-cycle
+  streams — long enough to amortize per-run setup, which is the regime
+  those tiers exist for.  Cross-tier comparisons use ``cycles_per_s``,
+  so the differing cycle counts don't skew the speedup columns.
+* ``test_sim_throughput_farm`` runs the ≥100k-cell ``farm16`` stress
+  workload through the vector backend, glitch-exact.
 
 ``benchmarks/run_benchmarks.py`` runs this module through
 pytest-benchmark's JSON export and refreshes the committed
@@ -23,7 +30,10 @@ import pytest
 from repro.circuits.multipliers import build_multiplier_circuit
 from repro.core.activity import ActivityRun
 from repro.sim.engine import Simulator
+from repro.sim.vector import numpy_available
 from repro.sim.vectors import WordStimulus
+
+FARM_CYCLES = 20
 
 
 def _workload(n_bits: int, n_cycles: int):
@@ -59,4 +69,40 @@ def test_sim_throughput_backends(benchmark, n_bits, n_cycles, backend):
         return run.run(iter(vectors)).total_transitions
 
     total = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert total > 0
+
+
+@pytest.mark.parametrize("n_bits,n_cycles", [(16, 256), (32, 256)])
+@pytest.mark.parametrize("backend", ["codegen", "vector"])
+def test_sim_throughput_codegen_tiers(benchmark, n_bits, n_cycles, backend):
+    if backend == "vector" and not numpy_available():
+        pytest.skip("vector backend needs the [perf] extra (numpy)")
+    circuit, vectors = _workload(n_bits, n_cycles)
+    run = ActivityRun(circuit, backend=backend)
+    run.run(iter(vectors))  # warm the per-circuit compiled kernels
+
+    def simulate():
+        return run.run(iter(vectors)).total_transitions
+
+    total = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert total > 0
+
+
+def test_sim_throughput_farm(benchmark):
+    if not numpy_available():
+        pytest.skip("vector backend needs the [perf] extra (numpy)")
+    from repro.circuits.catalog import build_named_circuit
+    from repro.sim.vectors import UniformStimulus
+
+    circuit, stim = build_named_circuit("farm16")
+    vectors = [
+        dict(v) for v in UniformStimulus(seed=42).vectors(stim, FARM_CYCLES + 1)
+    ]
+    run = ActivityRun(circuit, backend="vector")
+    run.run(iter(vectors))  # warm the compile + plan caches
+
+    def simulate():
+        return run.run(iter(vectors)).total_transitions
+
+    total = benchmark.pedantic(simulate, rounds=2, iterations=1)
     assert total > 0

@@ -7,6 +7,8 @@ identical netlist.  Names:
 
 * ``rcaN`` — N-bit ripple-carry adder;
 * ``arrayN`` / ``wallaceN`` — NxN array / Wallace-tree multiplier;
+* ``farmN`` — a ≥100k-cell farm of NxN array-multiplier tiles sharing
+  one rotated input-word pair (the backend stress workload);
 * ``detector`` — the Section 4.2 direction-detector processing unit.
 """
 
@@ -44,9 +46,12 @@ def validate_name(name: str) -> str:
         _parse_size(name, "array")
     elif name.startswith("wallace"):
         _parse_size(name, "wallace")
+    elif name.startswith("farm"):
+        _parse_size(name, "farm")
     elif name != "detector":
         raise ValueError(
-            f"unknown circuit {name!r}; try rca16, array8, wallace8, detector"
+            f"unknown circuit {name!r}; "
+            "try rca16, array8, wallace8, farm16, detector"
         )
     return name
 
@@ -62,11 +67,18 @@ def build_named_circuit(name: str) -> Tuple[Circuit, WordStimulus]:
         n = _parse_size(name, arch)
         circuit, ports = build_multiplier_circuit(n, arch)
         return circuit, WordStimulus({"x": ports["x"], "y": ports["y"]})
+    if name.startswith("farm"):
+        from repro.circuits.farm import build_multiplier_farm
+
+        n = _parse_size(name, "farm")
+        circuit, ports = build_multiplier_farm(n)
+        return circuit, WordStimulus({"x": ports["x"], "y": ports["y"]})
     if name == "detector":
         from repro.experiments.detector import detector_stimulus
 
         circuit, ports = build_direction_detector()
         return circuit, detector_stimulus(ports)
     raise ValueError(
-        f"unknown circuit {name!r}; try rca16, array8, wallace8, detector"
+        f"unknown circuit {name!r}; "
+        "try rca16, array8, wallace8, farm16, detector"
     )

@@ -6,7 +6,9 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli analyze --circuit array16 --vectors 2000 \
         --shards 8 --jobs 4          # sharded, exactly merged
     python -m repro.cli analyze --circuit array16 --backend auto \
-        --vectors 2000               # waveform engine, glitch-exact
+        --vectors 2000               # fastest glitch-exact engine
+    python -m repro.cli analyze --circuit array32 --backend vector \
+        --vectors 5000               # numpy tier ([perf] extra)
     python -m repro.cli analyze --circuit rca16 --backend bitparallel
     python -m repro.cli analyze --circuit rca8 --vectors 50 \
         --backend auto --vcd rca8.vcd   # falls back to event-driven
@@ -88,6 +90,32 @@ def _open_store(path: str | None, max_bytes: int | None = None):
     return ResultStore(path, max_bytes=max_bytes)
 
 
+def _require_backend(name: str) -> None:
+    """Exit with a one-line error when *name* cannot run here.
+
+    ``auto`` always resolves to something runnable; concrete names are
+    checked up front so a missing optional dependency surfaces as a
+    clean message listing the usable engines, not a traceback from
+    deep inside a run.
+    """
+    from repro.sim.backends import (
+        available_backends,
+        backend_unavailable_reason,
+    )
+
+    if name == "auto":
+        return
+    try:
+        reason = backend_unavailable_reason(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if reason is not None:
+        raise SystemExit(
+            f"{reason} (available backends: "
+            f"{', '.join(available_backends())})"
+        )
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.sim.backends import select_backend
 
@@ -96,6 +124,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     rng = random.Random(args.seed)
     backend = args.backend
+    _require_backend(backend)
     if args.vcd is not None:
         # Recorded events exist only on the event-driven engine; auto
         # falls back to it, anything else is a contradiction.
@@ -113,7 +142,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 "store does not hold; drop --cache for VCD dumps"
             )
         backend = select_backend(record_events=True)
-    if backend in ("event", "waveform", "auto"):
+    if backend in ("event", "waveform", "codegen", "vector", "auto"):
         delay = _delay_model(args.delay or "unit")
         if backend == "auto":
             backend = select_backend(delay)
@@ -385,6 +414,7 @@ def _make_stimulus_arg(args: argparse.Namespace):
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.jobs import BatchScheduler, JobSpec
 
+    _require_backend(args.backend)
     store = _open_store(args.cache)
     spec = JobSpec(
         circuit=args.circuit,
@@ -684,11 +714,16 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend", default="event",
-        choices=["auto", "event", "waveform", "bitparallel"],
+        choices=[
+            "auto", "event", "waveform", "bitparallel", "codegen",
+            "vector",
+        ],
         help=(
-            "simulation backend: auto picks the waveform engine for "
-            "glitch-exact aggregate runs (event-driven when --vcd is "
-            "given); bitparallel counts useful activity only"
+            "simulation backend: auto picks the fastest glitch-exact "
+            "engine (vector with the [perf] extra, waveform without; "
+            "event-driven when --vcd is given); codegen/vector are the "
+            "generated-kernel tiers; bitparallel counts useful "
+            "activity only"
         ),
     )
     p.add_argument(
@@ -769,7 +804,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--flip-probability", type=float, default=0.1)
     p.add_argument(
         "--backend", default="auto",
-        choices=["auto", "event", "waveform", "bitparallel"],
+        choices=[
+            "auto", "event", "waveform", "bitparallel", "codegen",
+            "vector",
+        ],
     )
     p.add_argument(
         "--estimate", action="store_true",

@@ -13,7 +13,7 @@ backend (:mod:`repro.sim.backends`) and offers:
 * :meth:`ActivityRun.run_sharded` — the same result, computed by
   splitting the vector stream into contiguous shards (optionally
   across ``multiprocessing`` workers).  Shard boundary states are
-  fast-forwarded with the zero-delay bit-parallel backend — exact,
+  fast-forwarded with the fastest available zero-delay engine — exact,
   because settled event-driven values provably equal zero-delay
   evaluation — and shard results are combined with
   :meth:`ActivityResult.merge`, so the merged result is bit-identical
@@ -21,7 +21,7 @@ backend (:mod:`repro.sim.backends`) and offers:
 * :meth:`ActivityRun.step_traces` — raw per-cycle traces for callers
   that need single-cycle detail (worst-case stimuli, VCD dumps);
 * :meth:`ActivityRun.ff_activity` — mean flipflop D-input toggle
-  probability, measured with the bit-parallel backend (settled values
+  probability, measured with the zero-delay engine (settled values
   only, which is exactly what D pins sample).
 
 :func:`analyze` remains as the one-call convenience wrapper.
@@ -39,12 +39,14 @@ from repro.netlist.circuit import Circuit
 from repro.sim.backends import (
     AUTO_BACKEND,
     BACKENDS,
-    BitParallelBackend,
+    BackendUnavailableError,
     RunStats,
     _resolve_vector,
+    backend_unavailable_reason,
     canonical_backend,
     get_backend,
     select_backend,
+    zero_delay_backend,
 )
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 from repro.sim.engine import CycleTrace, Simulator
@@ -300,11 +302,14 @@ class ActivityRun:
         ``"event"`` (exact, glitch-aware — the default),
         ``"waveform"`` (glitch-exact batch engine, bit-identical
         aggregates at a fraction of the cost), ``"bitparallel"``
-        (zero-delay batch engine: fastest, counts only settled-value
-        i.e. useful activity), or ``"auto"`` — resolve per
-        :func:`repro.sim.backends.select_backend`: waveform for
-        aggregate glitch-exact analysis, bit-parallel when an explicit
-        :class:`~repro.sim.delays.ZeroDelay` model is given.
+        (zero-delay batch engine: fastest interpreted tier, counts
+        only settled-value i.e. useful activity), ``"codegen"`` /
+        ``"vector"`` (the generated-kernel tiers — dual-mode: a timed
+        delay model selects glitch-exact analysis, an explicit
+        :class:`~repro.sim.delays.ZeroDelay` selects settled
+        zero-delay accounting; ``"vector"`` needs the ``[perf]``
+        extra's numpy), or ``"auto"`` — resolve per
+        :func:`repro.sim.backends.select_backend`.
         Per-cycle traces (:meth:`step_traces`) always use the
         event-driven engine — the only one that produces them.
     monitor:
@@ -323,10 +328,20 @@ class ActivityRun:
         if backend == AUTO_BACKEND:
             backend = select_backend(delay_model)
         self.backend_name = canonical_backend(backend)
+        reason = backend_unavailable_reason(self.backend_name)
+        if reason is not None:
+            raise BackendUnavailableError(reason)
         self.monitor = None if monitor is None else list(monitor)
-        if not BACKENDS[self.backend_name].exact_glitches:
-            if delay_model is not None and not isinstance(
-                delay_model, ZeroDelay
+        backend_cls = BACKENDS[self.backend_name]
+        dual = getattr(backend_cls, "dual_mode", False)
+        if not backend_cls.exact_glitches or (
+            dual and isinstance(delay_model, ZeroDelay)
+        ):
+            # Zero-delay session: inherently settled backends, or a
+            # dual-mode backend explicitly asked for its settled tier.
+            if not backend_cls.exact_glitches and (
+                delay_model is not None
+                and not isinstance(delay_model, ZeroDelay)
             ):
                 raise ValueError(
                     f"the {self.backend_name!r} backend is inherently "
@@ -346,12 +361,35 @@ class ActivityRun:
             self.delay_model = delay_model
             self.delay_description = delay_model.describe()
 
+    @property
+    def exact_glitches(self) -> bool:
+        """Whether this session classifies glitches (timed delay model).
+
+        Per-*session*, not per-backend-class: a dual-mode backend
+        constructed with an explicit ZeroDelay runs a settled
+        zero-delay session even though its class can observe glitches.
+        """
+        return self.delay_model is not None
+
     # ------------------------------------------------------------------
+    def _effective_delay_model(self) -> DelayModel:
+        """The delay model to hand the backend constructor.
+
+        Zero-delay sessions store ``delay_model=None``, but dual-mode
+        backends interpret a ``None`` constructor argument as "default
+        timed model" — so the settled tier must be requested with an
+        explicit ZeroDelay instance (which the bit-parallel backend
+        accepts too).
+        """
+        return (
+            self.delay_model if self.delay_model is not None else ZeroDelay()
+        )
+
     def _make_backend(self, monitor: Iterable[int] | None = None):
         return get_backend(
             self.backend_name,
             self.circuit,
-            self.delay_model,
+            self._effective_delay_model(),
             self.monitor if monitor is None else monitor,
         )
 
@@ -394,7 +432,7 @@ class ActivityRun:
         The stream is materialised, split into *shards* contiguous
         slices, and each slice is simulated independently from its
         exact boundary state (settled net values + flipflop state,
-        fast-forwarded with the zero-delay bit-parallel backend).  The
+        fast-forwarded with the fastest zero-delay engine).  The
         merged result is bit-identical to :meth:`run` on the same
         stream.  With *processes* > 1 the shards run in a
         ``multiprocessing`` pool; otherwise they run sequentially
@@ -428,13 +466,14 @@ class ActivityRun:
 
         # Fast-forward exact boundary states with the zero-delay engine
         # (settled event-driven values equal zero-delay evaluation).
-        ff = BitParallelBackend(self.circuit, monitor=())
+        ff = zero_delay_backend(self.circuit, monitor=())
+        effective_delay = self._effective_delay_model()
         jobs = []
         values: List[int] | None = None
         state: Dict[int, int] | None = None
         for s, seg in enumerate(slices):
             jobs.append((
-                self.circuit, self.delay_model, self.backend_name,
+                self.circuit, effective_delay, self.backend_name,
                 self.monitor, seg,
                 warmup if s == 0 else None,
                 values, dict(state) if state is not None else None,
@@ -498,16 +537,16 @@ class ActivityRun:
     ) -> Dict[str, float]:
         """Mean flipflop D-input toggle probability per cycle.
 
-        Measured with the bit-parallel backend regardless of the
-        session backend: D pins sample *settled* values, which the
-        zero-delay engine reproduces exactly.  Validates the paper's
+        Measured with the zero-delay engine regardless of the
+        session backend: D pins sample *settled* values, which
+        zero-delay evaluation reproduces exactly.  Validates the paper's
         footnote-1 assumption that flipflop inputs change ~50% of the
         time.
         """
         ff_d = [c.inputs[0] for c in self.circuit.flipflops]
         if not ff_d:
             return {"flipflops": 0, "cycles": 0, "mean_d_activity": 0.0}
-        bp = BitParallelBackend(self.circuit, monitor=set(ff_d))
+        bp = zero_delay_backend(self.circuit, monitor=set(ff_d))
         stats = bp.run(vectors, warmup=warmup)
         # A net feeding several D pins counts once per pin, as a
         # per-flipflop mean should.

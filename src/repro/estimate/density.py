@@ -19,12 +19,14 @@ densities (correlated / burst streams) come from
 :func:`repro.estimate.workload.input_statistics`.
 
 Like :mod:`repro.estimate.probability`, the propagation runs on the
-compiled IR's per-cell fused density kernels
-(:data:`~repro.netlist.compiled.CompiledCircuit.cell_density`): one
-pass over flat per-net float arrays with the Boolean-difference
-probabilities in closed form per kind, instead of the reference
-implementation's per-(cell, pin) truth-table enumeration
-(:mod:`repro.estimate.reference`).
+compiled IR through the generated flat density pass
+(:data:`~repro.netlist.compiled.CompiledCircuit.density_pass`): one
+exec-compiled straight-line function over flat per-net float arrays
+with the Boolean-difference probabilities in closed form per kind,
+instead of the reference implementation's per-(cell, pin) truth-table
+enumeration (:mod:`repro.estimate.reference`).  The pass emits the
+per-cell fused kernels' arithmetic verbatim, so both agree bit for
+bit.
 """
 
 from __future__ import annotations
@@ -56,19 +58,14 @@ def _density_array(
     dens = [0.0] * cc.n_nets
     for net, d in input_densities.items():
         dens[net] = d
-    topo = cc.topo
-    kernels = cc.cell_density
-    cell_outputs = cc.cell_outputs
+    density_pass = cc.density_pass
     ff_d, ff_q = cc.ff_d, cc.ff_q
     # Feed-forward propagation; one refinement pass settles pipelines.
     for _ in range(2 if ff_q else 1):
         for i, q in enumerate(ff_q):
             d = dens[ff_d[i]]
             dens[q] = d if d < 1.0 else 1.0
-        for ci in topo:
-            outs = kernels[ci](probs, dens)
-            for net, d in zip(cell_outputs[ci], outs):
-                dens[net] = d
+        density_pass(probs, dens)
     return dens
 
 

@@ -16,14 +16,17 @@ transitions**: a zero-delay model cannot represent glitches, which is
 precisely the gap the paper's simulation-based method fills (the
 ablation experiment quantifies this gap).
 
-The propagation runs on the compiled circuit IR: per-cell fused
-probability kernels (:data:`~repro.netlist.compiled.CompiledCircuit.cell_prob`,
-generated at compile time alongside the simulation kernels) evaluate
-one fused pass over a flat per-net float array — no per-cell kind
-branching or truth-table enumeration per call.  The original dict
-walking implementation survives as the oracle in
-:mod:`repro.estimate.reference`; property tests pin agreement to
-1e-12.
+The propagation runs on the compiled circuit IR through the *generated
+flat probability pass*
+(:data:`~repro.netlist.compiled.CompiledCircuit.prob_pass`, one
+exec-compiled function with one straight-line statement per cell,
+emitting exactly the per-cell fused kernels' arithmetic) over a flat
+per-net float array — no per-cell call, kind branching or truth-table
+enumeration in the loop.  The original dict walking implementation
+survives as the oracle in :mod:`repro.estimate.reference`; property
+tests pin agreement to 1e-12, and the generated pass is bit-equal to
+the fused per-cell kernels by construction (identical expressions,
+identical association order).
 """
 
 from __future__ import annotations
@@ -92,15 +95,10 @@ def _probability_array(
     values = [0.5] * cc.n_nets
     for net, p in input_probs.items():
         values[net] = p
-    topo = cc.topo
-    kernels = cc.cell_prob
-    cell_outputs = cc.cell_outputs
+    prob_pass = cc.prob_pass
     ff_d, ff_q = cc.ff_d, cc.ff_q
     for _ in range(64 if ff_q else 2):
-        for ci in topo:
-            outs = kernels[ci](values)
-            for net, p in zip(cell_outputs[ci], outs):
-                values[net] = p
+        prob_pass(values)
         changed = False
         for i, q in enumerate(ff_q):
             new = values[ff_d[i]]

@@ -689,6 +689,55 @@ class CompiledCircuit:
         )
 
     # ------------------------------------------------------------------
+    # Generated flat passes (see repro.netlist.codegen): whole-circuit
+    # straight-line kernels exec-compiled on first access and memoized
+    # with the snapshot, exactly like the estimator kernel tables.
+
+    @cached_property
+    def settle_pass(self):
+        """Generated ``f(v, M)`` zero-delay bitmask pass (codegen tier).
+
+        Statement-for-statement equivalent to running every
+        :attr:`cell_eval_bits` kernel over the topo order; accepted by
+        :func:`settle_lanes` as ``comb_pass``.
+        """
+        from repro.netlist import codegen
+
+        return codegen.build_settle_pass(self)
+
+    @cached_property
+    def waveform_pass(self):
+        """Generated ``f(w, ch, vals, F)`` timed waveform-lane pass.
+
+        Only available on delay-compiled snapshots (``out_specs`` not
+        ``None``); transport delays are baked in as literal shifts.
+        """
+        from repro.netlist import codegen
+
+        return codegen.build_waveform_pass(self)
+
+    @cached_property
+    def prob_pass(self):
+        """Generated ``f(p)`` signal-probability topo pass (in place)."""
+        from repro.netlist import codegen
+
+        return codegen.build_prob_pass(self)
+
+    @cached_property
+    def density_pass(self):
+        """Generated ``f(p, d)`` transition-density topo pass (in place)."""
+        from repro.netlist import codegen
+
+        return codegen.build_density_pass(self)
+
+    @cached_property
+    def cell_groups(self):
+        """Levelized vectorization groups (:func:`repro.netlist.codegen.level_groups`)."""
+        from repro.netlist import codegen
+
+        return codegen.level_groups(self)
+
+    # ------------------------------------------------------------------
     def evaluate_flat(
         self,
         input_values: Sequence[int],
@@ -729,6 +778,7 @@ def settle_lanes(
     net_bits: List[int],
     mask: int,
     base_values: Sequence[int],
+    comb_pass: Callable[[List[int], int], None] | None = None,
 ) -> List[int]:
     """Zero-delay settle of a lane-packed batch, in place.
 
@@ -741,20 +791,30 @@ def settle_lanes(
     resolved by fixpoint iteration (each pass extends the correct
     prefix by at least one register stage).
 
+    *comb_pass* overrides the combinational pass — pass
+    :attr:`CompiledCircuit.settle_pass` to run the generated flat
+    kernel instead of the per-cell fused-kernel loop (bit-identical by
+    construction).
+
     Returns the converged ``q`` lane masks, parallel to
     :attr:`CompiledCircuit.ff_cells`.  Shared by the bit-parallel
-    backend (lane = clock cycle) and the waveform backend's settled
-    pre-pass.
+    backend (lane = clock cycle) and the waveform/codegen backends'
+    settled pre-pass.
     """
-    kernels = cc.cell_eval_bits
-    cell_outputs = cc.cell_outputs
-    topo = cc.topo
+    if comb_pass is None:
+        kernels = cc.cell_eval_bits
+        cell_outputs = cc.cell_outputs
+        topo = cc.topo
+
+        def comb_pass(bits, m):
+            for ci in topo:
+                outs = kernels[ci](bits, m)
+                for out_net, v in zip(cell_outputs[ci], outs):
+                    bits[out_net] = v
+
     ff_cells, ff_d, ff_q = cc.ff_cells, cc.ff_d, cc.ff_q
     if not ff_cells:
-        for ci in topo:
-            outs = kernels[ci](net_bits, mask)
-            for out_net, v in zip(cell_outputs[ci], outs):
-                net_bits[out_net] = v
+        comb_pass(net_bits, mask)
         return []
     nbits = mask.bit_length()
     q_init = [base_values[d] & 1 for d in ff_d]
@@ -762,10 +822,7 @@ def settle_lanes(
     for _ in range(nbits + 1):
         for i, qn in enumerate(ff_q):
             net_bits[qn] = q_bits[i]
-        for ci in topo:
-            outs = kernels[ci](net_bits, mask)
-            for out_net, v in zip(cell_outputs[ci], outs):
-                net_bits[out_net] = v
+        comb_pass(net_bits, mask)
         new_q = [
             ((net_bits[ff_d[i]] << 1) | q_init[i]) & mask
             for i in range(len(ff_cells))

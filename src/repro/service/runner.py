@@ -53,7 +53,6 @@ from repro.service.store import (
     encode_estimate,
     encode_result,
 )
-from repro.sim.backends import BACKENDS
 from repro.sim.delays import DelayModel
 from repro.sim.vectors import StimulusSpec, WordStimulus
 
@@ -121,7 +120,10 @@ def _key_for(
     stimulus: StimulusSpec,
     n_vectors: int,
 ) -> RunKey:
-    exact = BACKENDS[run.backend_name].exact_glitches
+    # Per-session, not per-backend-class: dual-mode backends run a
+    # settled zero-delay session when given an explicit ZeroDelay, and
+    # those results belong in the SETTLED class with bitparallel's.
+    exact = run.exact_glitches
     return RunKey(
         circuit_fp=circuit.fingerprint(),
         delay_fp=delay_fingerprint(circuit, run.delay_model),

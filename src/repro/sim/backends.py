@@ -27,18 +27,31 @@ touching consumers:
   verification, warm-up/fast-forward, and flipflop/useful-activity
   estimation; its per-net toggle counts equal the event-driven
   backend's per-net *useful* counts exactly.
+* :class:`~repro.sim.codegen_backend.CodegenBackend` — the generated
+  pure-Python tier (:mod:`repro.netlist.codegen`): the same lane
+  algorithms as the two batch engines above, run through one flat
+  exec-compiled kernel per circuit instead of per-cell closure
+  dispatch.  Dual-mode: a timed delay model selects the glitch-exact
+  waveform algorithm, an explicit ZeroDelay selects settled batch
+  evaluation.
+* :class:`~repro.sim.vector.VectorBackend` — the numpy tier (the
+  optional ``[perf]`` extra): per-net cycle lanes packed into
+  ``uint64`` ndarrays, evaluated level-by-level with per-kind
+  vectorized ops.  Dual-mode like codegen, bit-identical to the
+  event-driven reference, and the fastest engine by a wide margin.
 
 All backends accept an explicit starting point (``initial_values`` +
 ``initial_ff_state``), which is what makes exact vector-stream sharding
 possible: a shard's boundary state is computed cheaply with the
-bit-parallel backend and handed to an event-driven or waveform shard
-worker, whose traces are then bit-identical to an unsharded run
-(settled values provably equal zero-delay evaluation).
+zero-delay engine (:func:`zero_delay_backend`) and handed to a
+glitch-exact shard worker, whose stats are then bit-identical to an
+unsharded run (settled values provably equal zero-delay evaluation).
 
 :func:`select_backend` implements the ``"auto"`` policy used by the
-session API and the CLI: waveform for aggregate glitch-exact runs,
-event-driven whenever traces/VCD recording are requested, bit-parallel
-for explicit zero-delay runs.
+session API and the CLI: event-driven whenever traces/VCD recording
+are requested; otherwise the vector backend when numpy is available,
+falling back to waveform (glitch-exact) or bit-parallel (explicit
+zero-delay) without it.
 """
 
 from __future__ import annotations
@@ -235,6 +248,10 @@ class BitParallelBackend:
         self.circuit = circuit
         self.delay_model = ZeroDelay()
         self._cc: CompiledCircuit = compile_circuit(circuit)
+        #: Optional settle-pass override (the codegen backend installs
+        #: the generated flat kernel here; ``None`` keeps the fused
+        #: per-cell kernel loop).
+        self._comb_pass = None
         if monitor is None:
             self._monitor = [
                 n for n in range(self._cc.n_nets) if self._cc.driven[n]
@@ -311,7 +328,9 @@ class BitParallelBackend:
 
             # Zero-delay settle via the shared fused-kernel helper; the
             # flipflop recurrence q[k] = d[k-1] is fixpoint-resolved.
-            q_bits = settle_lanes(cc, net_bits, mask, values)
+            q_bits = settle_lanes(
+                cc, net_bits, mask, values, self._comb_pass
+            )
             for i, ci in enumerate(ff_cells):
                 state[ci] = (q_bits[i] >> top) & 1
 
@@ -337,14 +356,34 @@ class BitParallelBackend:
         return stats
 
 
+class BackendUnavailableError(ValueError):
+    """A registered backend cannot run in this environment.
+
+    Raised when a backend's optional dependency is missing — e.g. the
+    vector backend without the ``[perf]`` extra's numpy.  Subclasses
+    :class:`ValueError` so existing "bad backend name" handling keeps
+    working.
+    """
+
+
 from repro.sim.waveform import WaveformBackend  # noqa: E402  (needs RunStats at run time)
+from repro.sim.codegen_backend import CodegenBackend  # noqa: E402
+from repro.sim.vector import (  # noqa: E402
+    VectorBackend,
+    numpy_available,
+    numpy_unavailable_reason,
+)
 
 #: Registered backends, by canonical name (aliases resolved in
-#: :func:`get_backend`).
+#: :func:`get_backend`).  Registration is unconditional — use
+#: :func:`backend_unavailable_reason` / :func:`available_backends` to
+#: learn whether one can actually run here.
 BACKENDS = {
     EventDrivenBackend.name: EventDrivenBackend,
     WaveformBackend.name: WaveformBackend,
     BitParallelBackend.name: BitParallelBackend,
+    CodegenBackend.name: CodegenBackend,
+    VectorBackend.name: VectorBackend,
 }
 
 _ALIASES = {
@@ -355,10 +394,37 @@ _ALIASES = {
     "bitparallel": "bitparallel",
     "bit-parallel": "bitparallel",
     "batch": "bitparallel",
+    "codegen": "codegen",
+    "vector": "vector",
+    "numpy": "vector",
+    "np": "vector",
 }
 
 #: Pseudo-backend name resolved per run by :func:`select_backend`.
 AUTO_BACKEND = "auto"
+
+
+def backend_unavailable_reason(name: str) -> str | None:
+    """Why backend *name* can't run here, or ``None`` when it can.
+
+    Resolves aliases; raises :class:`ValueError` for unknown names
+    (like :func:`canonical_backend`).
+    """
+    canonical = canonical_backend(name)
+    if canonical == VectorBackend.name:
+        reason = numpy_unavailable_reason()
+        if reason is not None:
+            return f"the 'vector' backend is unavailable: {reason}"
+    return None
+
+
+def available_backends() -> List[str]:
+    """Canonical names of the backends that can run here, sorted."""
+    return sorted(
+        name
+        for name in BACKENDS
+        if backend_unavailable_reason(name) is None
+    )
 
 
 def select_backend(
@@ -370,15 +436,19 @@ def select_backend(
 
     * per-cycle traces or recorded events (VCD dumps) need the
       event-driven engine — nothing else produces them;
-    * an explicit :class:`~repro.sim.delays.ZeroDelay` model means no
-      glitch is observable anyway, so the bit-parallel batch engine is
-      both exact and by far the fastest;
-    * everything else — aggregate glitch-exact activity analysis, the
-      common case — goes to the waveform backend, which matches the
-      event-driven engine bit for bit at a fraction of the cost.
+    * everything else goes to the vectorized numpy backend when the
+      ``[perf]`` extra is installed — it is bit-identical to the
+      event-driven engine in both its glitch-exact and zero-delay
+      modes and by far the fastest;
+    * without numpy the policy falls back to the interpreted engines:
+      bit-parallel for an explicit
+      :class:`~repro.sim.delays.ZeroDelay` model (no glitch is
+      observable anyway), the waveform backend for everything else.
     """
     if record_events or want_traces:
         return EventDrivenBackend.name
+    if numpy_available():
+        return VectorBackend.name
     if delay_model is not None and isinstance(delay_model, ZeroDelay):
         return BitParallelBackend.name
     return WaveformBackend.name
@@ -401,5 +471,28 @@ def get_backend(
     delay_model: DelayModel | None = None,
     monitor: Iterable[int] | None = None,
 ) -> SimBackend:
-    """Construct the backend called *name* for *circuit*."""
-    return BACKENDS[canonical_backend(name)](circuit, delay_model, monitor)
+    """Construct the backend called *name* for *circuit*.
+
+    Raises :class:`BackendUnavailableError` when the backend exists
+    but can't run in this environment (missing optional dependency).
+    """
+    canonical = canonical_backend(name)
+    reason = backend_unavailable_reason(canonical)
+    if reason is not None:
+        raise BackendUnavailableError(reason)
+    return BACKENDS[canonical](circuit, delay_model, monitor)
+
+
+def zero_delay_backend(
+    circuit: Circuit, monitor: Iterable[int] | None = None
+) -> SimBackend:
+    """The fastest available settled-value engine for *circuit*.
+
+    The vector backend's zero-delay mode when numpy is present, else
+    the bit-parallel backend — both produce identical results (the
+    settled-equivalence invariant), so callers that only fast-forward
+    state or need useful-only counts can take whichever is faster.
+    """
+    if numpy_available():
+        return VectorBackend(circuit, ZeroDelay(), monitor)
+    return BitParallelBackend(circuit, None, monitor)

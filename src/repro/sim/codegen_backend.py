@@ -1,0 +1,281 @@
+"""Generated-source simulation backend: the pure-Python codegen tier.
+
+:class:`CodegenBackend` runs the same lane-packed algorithms as the
+waveform and bit-parallel backends, but through the *generated flat
+kernels* of :mod:`repro.netlist.codegen` — one exec-compiled function
+per circuit with one straight-line statement per cell — instead of a
+Python loop dispatching per-cell closures.  That removes the
+per-cell call, returned tuple and ``zip`` from the hot path, which is
+where the interpreted backends spend most of their time.
+
+The backend is **dual-mode**, keyed on the delay model:
+
+* a timed model (default :class:`~repro.sim.delays.UnitDelay`) selects
+  the glitch-exact waveform-lane algorithm, bit-identical to the
+  event-driven reference (same contract as
+  :class:`~repro.sim.waveform.WaveformBackend`, same property suite);
+* an explicit :class:`~repro.sim.delays.ZeroDelay` selects settled
+  zero-delay batch evaluation, bit-identical to
+  :class:`~repro.sim.backends.BitParallelBackend` (it *is* that
+  backend, with the generated settle kernel swapped into
+  :func:`~repro.netlist.compiled.settle_lanes`).
+
+Unlike the waveform backend there is no per-batch dirty tracking: the
+generated kernel evaluates every cell unconditionally, trading wasted
+work on quiet batches for zero bookkeeping on busy ones.  Cells whose
+inputs carried no event evaluate to their settled constant and their
+``changed`` mask is zero, so statistics are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.transitions import NodeActivity
+from repro.netlist.circuit import Circuit
+from repro.netlist.codegen import static_event_horizon
+from repro.netlist.compiled import (
+    CompiledCircuit,
+    compile_circuit,
+    settle_lanes,
+)
+from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
+
+
+def _batch_consts(W: int, nb: int) -> Tuple:
+    """Lane-geometry constants for a batch of *nb* cycles (axis *W*)."""
+    wmask = (1 << W) - 1
+    full = (1 << (nb * W)) - 1
+    blockstart = 0
+    for k in range(nb):
+        blockstart |= 1 << (k * W)
+    fold = []
+    sh = 1
+    while sh < W:
+        fold.append((sh, blockstart * (wmask >> sh)))
+        sh <<= 1
+    return wmask, full, blockstart, fold
+
+
+class CodegenBackend:
+    """Flat generated-kernel backend (see module docstring).
+
+    Satisfies the :class:`~repro.sim.backends.SimBackend` protocol.
+    ``exact_glitches`` is ``True`` at class level (the backend *can*
+    observe glitches); the instance attribute reflects the mode the
+    delay model selected.
+    """
+
+    name = "codegen"
+    exact_glitches = True
+    #: Dual-mode marker: an explicit ZeroDelay model selects settled
+    #: batch evaluation instead of being rejected.
+    dual_mode = True
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        delay_model: DelayModel | None = None,
+        monitor: Iterable[int] | None = None,
+        batch_cycles: int | None = None,
+    ) -> None:
+        if batch_cycles is not None and batch_cycles < 1:
+            raise ValueError("batch_cycles must be >= 1")
+        self.circuit = circuit
+        self._zero = None
+        if isinstance(delay_model, ZeroDelay):
+            # Settled tier: the bit-parallel algorithm with the
+            # generated settle kernel swapped in (bit-identical).
+            from repro.sim.backends import BitParallelBackend
+
+            self.delay_model = delay_model
+            self.exact_glitches = False
+            zero = BitParallelBackend(
+                circuit, None, monitor, batch_cycles=batch_cycles or 256
+            )
+            zero._comb_pass = zero._cc.settle_pass
+            self._zero = zero
+            self.batch_cycles = zero.batch_cycles
+            return
+        self.delay_model = delay_model or UnitDelay()
+        self.batch_cycles = batch_cycles or 32
+        cc: CompiledCircuit = compile_circuit(circuit, self.delay_model)
+        self._cc = cc
+        self._W = static_event_horizon(
+            cc, circuit, self.delay_model, "codegen"
+        )
+        if monitor is None:
+            monitored = list(cc.driven)
+        else:
+            monitored = [False] * cc.n_nets
+            for n in monitor:
+                monitored[n] = True
+        self._monitored = monitored
+        is_comb_out = bytearray(cc.n_nets)
+        for ci in cc.topo:
+            for n in cc.cell_outputs[ci]:
+                is_comb_out[n] = 1
+        self._stat_nets = [
+            n for n in range(cc.n_nets) if is_comb_out[n] and monitored[n]
+        ]
+
+    def run(
+        self,
+        vectors: Iterable[Sequence[int] | Mapping[int, int]],
+        warmup: Sequence[int] | Mapping[int, int] | None = None,
+        initial_values: Sequence[int] | None = None,
+        initial_ff_state: Mapping[int, int] | None = None,
+    ) -> "RunStats":
+        """Simulate *vectors*; semantics match the event backend."""
+        if self._zero is not None:
+            return self._zero.run(
+                vectors, warmup, initial_values, initial_ff_state
+            )
+        from repro.sim.backends import RunStats, _resolve_vector
+
+        cc = self._cc
+        n_nets = cc.n_nets
+        inputs = cc.inputs
+        input_set = cc.input_set
+        ff_state: Dict[int, int] = dict.fromkeys(cc.ff_cells, 0)
+        if initial_ff_state:
+            ff_state.update(initial_ff_state)
+        if initial_values is not None:
+            values = list(initial_values)
+        else:
+            values = [0] * n_nets
+        cur_inputs = [values[net] for net in inputs]
+
+        it = iter(vectors)
+        if initial_values is None:
+            if warmup is None:
+                try:
+                    warmup = next(it)
+                except StopIteration:
+                    return RunStats(
+                        final_values=values, final_ff_state=ff_state
+                    )
+            full_vec = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full_vec, ff_state)
+        elif warmup is not None:
+            full_vec = _resolve_vector(warmup, inputs, input_set, cur_inputs)
+            values, _ = cc.evaluate_flat(full_vec, ff_state)
+
+        settle = cc.settle_pass
+        wave = cc.waveform_pass
+        ff_cells, ff_q = cc.ff_cells, cc.ff_q
+        monitored = self._monitored
+        stat_nets = self._stat_nets
+        W = self._W
+        B = self.batch_cycles
+
+        acc_tog = [0] * n_nets
+        acc_rise = [0] * n_nets
+        acc_useful = [0] * n_nets
+        acc_useless = [0] * n_nets
+        acc_active = [0] * n_nets
+
+        wbits = [0] * n_nets
+        chg = [0] * n_nets
+        consts = None
+        last_nb = 0
+        cycles = 0
+
+        batch: List[List[int]] = []
+        exhausted = False
+        while not exhausted:
+            batch.clear()
+            for vec in it:
+                batch.append(
+                    _resolve_vector(vec, inputs, input_set, cur_inputs)
+                )
+                if len(batch) == B:
+                    break
+            else:
+                exhausted = True
+            if not batch:
+                break
+            nb = len(batch)
+            if nb != last_nb:
+                consts = _batch_consts(W, nb)
+                last_nb = nb
+            wmask, full, blockstart, fold = consts
+            cy_mask = (1 << nb) - 1
+            top = nb - 1
+
+            # --- settled pre-pass (generated kernel) ------------------
+            slanes = [0] * n_nets
+            for pos, net in enumerate(inputs):
+                stream = 0
+                for k in range(nb):
+                    stream |= batch[k][pos] << k
+                slanes[net] = stream
+            q_lanes = settle_lanes(cc, slanes, cy_mask, values, settle)
+
+            # --- pre-fill every waveform with its pre-batch constant --
+            for net in range(n_nets):
+                wbits[net] = full if values[net] else 0
+
+            # --- seed clock-edge waveforms (inputs + flipflop q) ------
+            def seed_edge(net, s):
+                ch = (s ^ ((s << 1) | values[net])) & cy_mask
+                if not ch:
+                    return
+                sp = 0
+                x = s
+                while x:
+                    low = x & -x
+                    sp |= 1 << ((low.bit_length() - 1) * W)
+                    x ^= low
+                wbits[net] = sp * wmask
+                if monitored[net]:
+                    tog = ch.bit_count()
+                    acc_tog[net] += tog
+                    acc_rise[net] += (ch & s).bit_count()
+                    acc_useful[net] += tog
+                    acc_active[net] += tog
+
+            for net in inputs:
+                seed_edge(net, slanes[net])
+            for i, ci in enumerate(ff_cells):
+                seed_edge(ff_q[i], q_lanes[i])
+
+            # --- one generated flat pass over the whole circuit -------
+            wave(wbits, chg, values, full)
+
+            for net in stat_nets:
+                changed = chg[net]
+                if not changed:
+                    continue
+                tog = changed.bit_count()
+                acc_tog[net] += tog
+                acc_rise[net] += (changed & wbits[net]).bit_count()
+                s = slanes[net]
+                sch = (s ^ ((s << 1) | values[net])) & cy_mask
+                u = sch.bit_count()
+                acc_useful[net] += u
+                acc_useless[net] += tog - u
+                m = changed
+                for sh, msk in fold:
+                    m |= (m >> sh) & msk
+                acc_active[net] += (m & blockstart).bit_count()
+
+            # --- commit the batch boundary ----------------------------
+            for net in range(n_nets):
+                values[net] = (slanes[net] >> top) & 1
+            for i, ci in enumerate(ff_cells):
+                ff_state[ci] = (q_lanes[i] >> top) & 1
+            cycles += nb
+
+        stats = RunStats()
+        per_node = stats.per_node
+        for net, tog in enumerate(acc_tog):
+            if tog:
+                per_node[net] = NodeActivity(
+                    tog, acc_rise[net], acc_useful[net], acc_useless[net],
+                    acc_active[net],
+                )
+        stats.cycles = cycles
+        stats.final_values = values
+        stats.final_ff_state = ff_state
+        return stats

@@ -457,3 +457,59 @@ class TestFrontierExperiment:
         assert "Frontier discovery" in out
         assert "bound" in out
         assert "array8" in out
+
+
+class TestBackendSelection:
+    """--backend validation: unknown names and unavailable engines."""
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "--circuit", "rca4", "--backend", "quantum"])
+        assert exc.value.code == 2  # argparse usage error
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_on_submit(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["submit", "--circuit", "rca4", "--backend", "quantum"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unavailable_backend_one_line_error(self, monkeypatch):
+        """A known-but-unavailable engine exits with a clear one-liner
+        naming the engines that *can* run."""
+        monkeypatch.setattr(
+            "repro.sim.vector._NUMPY_ERROR",
+            "numpy is not installed (simulated by test)",
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "--circuit", "rca4", "--vectors", "5",
+                  "--backend", "vector"])
+        message = str(exc.value)
+        assert "\n" not in message
+        assert "'vector' backend is unavailable" in message
+        assert "available backends:" in message
+        for name in ("bitparallel", "event", "waveform"):
+            assert name in message
+
+    def test_auto_degrades_without_numpy(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.sim.vector._NUMPY_ERROR",
+            "numpy is not installed (simulated by test)",
+        )
+        assert main(["analyze", "--circuit", "rca4", "--vectors", "10",
+                     "--backend", "auto"]) == 0
+        assert "L/F" in capsys.readouterr().out
+
+    def test_codegen_tiers_agree_with_event_via_cli(self, capsys):
+        from repro.sim.vector import numpy_available
+
+        backends = ["event", "codegen"]
+        if numpy_available():
+            backends.append("vector")
+        outputs = []
+        for backend in backends:
+            assert main(["analyze", "--circuit", "array4", "--vectors",
+                         "40", "--backend", backend]) == 0
+            outputs.append(capsys.readouterr().out)
+        for other in outputs[1:]:
+            assert other == outputs[0]

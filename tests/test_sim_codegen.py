@@ -1,0 +1,233 @@
+"""Equivalence suite for the generated-Python codegen backend.
+
+The codegen backend replaces the interpreted per-cell kernel loops
+with one exec-compiled straight-line function per circuit (see
+``repro.netlist.codegen``).  Its contract is the same bit-identity the
+waveform backend carries — RunStats equal to the event-driven engine
+in glitch mode, and to the bit-parallel engine in zero-delay mode —
+plus inspectable generated source for the docs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activity import ActivityRun
+from repro.netlist.cells import CellKind
+from repro.netlist.codegen import kernel_source
+from repro.netlist.compiled import compile_circuit
+from repro.sim.backends import (
+    BitParallelBackend,
+    CodegenBackend,
+    EventDrivenBackend,
+    SimBackend,
+    get_backend,
+)
+from repro.sim.delays import (
+    HintedDelay,
+    LoadDelay,
+    PerKindDelay,
+    SumCarryDelay,
+    UnitDelay,
+    ZeroDelay,
+)
+
+from tests.conftest import random_dag_circuit
+
+
+def _random_vectors(rng, circuit, count):
+    return [
+        [rng.randint(0, 1) for _ in circuit.inputs] for _ in range(count)
+    ]
+
+
+def _delay_models(rng, circuit):
+    return [
+        UnitDelay(),
+        SumCarryDelay(dsum=2, dcarry=1),
+        SumCarryDelay(dsum=3, dcarry=1, other=2),
+        PerKindDelay({CellKind.XOR: 3, CellKind.FA: 2}, default=1),
+        LoadDelay(circuit, base=1, extra_per_load=rng.randint(1, 2)),
+        HintedDelay(),
+    ]
+
+
+def _assert_stats_equal(a, b):
+    assert a.cycles == b.cycles
+    assert a.per_node == b.per_node
+    assert a.final_values == b.final_values
+    assert a.final_ff_state == b.final_ff_state
+
+
+class TestProtocolAndRegistry:
+    def test_satisfies_protocol(self, xor_chain):
+        assert isinstance(CodegenBackend(xor_chain), SimBackend)
+
+    def test_registered(self, xor_chain):
+        assert isinstance(
+            get_backend("codegen", xor_chain), CodegenBackend
+        )
+
+    def test_dual_mode_flags(self, xor_chain):
+        assert CodegenBackend.exact_glitches is True
+        assert CodegenBackend.dual_mode is True
+        assert CodegenBackend(xor_chain).exact_glitches is True
+        assert (
+            CodegenBackend(xor_chain, ZeroDelay()).exact_glitches is False
+        )
+
+    def test_rejects_bad_batch_size(self, xor_chain):
+        with pytest.raises(ValueError, match="batch_cycles"):
+            CodegenBackend(xor_chain, batch_cycles=0)
+
+    def test_rejects_sub_unit_delay(self, xor_chain):
+        sneaky = PerKindDelay({CellKind.XOR: 0}, default=1)
+        with pytest.raises(ValueError, match="delays >= 1"):
+            CodegenBackend(xor_chain, delay_model=sneaky)
+
+    def test_empty_stream(self, xor_chain):
+        stats = CodegenBackend(xor_chain).run(iter([]))
+        assert stats.cycles == 0 and stats.per_node == {}
+
+
+class TestGeneratedSource:
+    def test_settle_source_is_flat_python(self, xor_chain):
+        cc = compile_circuit(xor_chain)
+        src = kernel_source(cc, "settle")
+        assert "def " in src and "for " not in src
+        assert "v[" in src  # writes lane masks in place
+
+    def test_waveform_source_has_literal_delays(self, xor_chain):
+        cc = compile_circuit(xor_chain, UnitDelay())
+        src = kernel_source(cc, "waveform")
+        assert "def " in src and "w[" in src
+
+    def test_unknown_pass_rejected(self, xor_chain):
+        cc = compile_circuit(xor_chain)
+        with pytest.raises(ValueError, match="unknown pass"):
+            kernel_source(cc, "nope")
+
+
+class TestEquivalenceWithEventDriven:
+    def test_glitchy_and_counts(self, glitchy_and):
+        vectors = [[k % 2] for k in range(9)]
+        ev = EventDrivenBackend(glitchy_and).run(iter(vectors))
+        cg = CodegenBackend(glitchy_and).run(iter(vectors))
+        _assert_stats_equal(ev, cg)
+        y = glitchy_and.net("y")
+        assert cg.per_node[y].useless == cg.per_node[y].toggles
+
+    def test_random_circuits_and_delay_models(self, rng):
+        for trial in range(10):
+            c = random_dag_circuit(
+                rng,
+                n_inputs=rng.randint(2, 6),
+                n_gates=rng.randint(4, 40),
+                with_ffs=trial % 2 == 1,
+            )
+            vectors = _random_vectors(rng, c, rng.randint(2, 40))
+            for dm in _delay_models(rng, c):
+                ev = EventDrivenBackend(c, dm).run(iter(vectors))
+                cg = CodegenBackend(c, dm).run(iter(vectors))
+                _assert_stats_equal(ev, cg)
+
+    def test_batch_size_invariance(self, rng):
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=20, with_ffs=True)
+        vectors = _random_vectors(rng, c, 33)
+        results = [
+            CodegenBackend(c, batch_cycles=b).run(iter(vectors))
+            for b in (1, 2, 7, 32, 256)
+        ]
+        for other in results[1:]:
+            _assert_stats_equal(results[0], other)
+
+    def test_zero_mode_matches_bitparallel(self, rng):
+        for trial in range(6):
+            c = random_dag_circuit(
+                rng, n_inputs=4, n_gates=20, with_ffs=trial % 2 == 1
+            )
+            vectors = _random_vectors(rng, c, 33)
+            bp = BitParallelBackend(c).run(iter(vectors))
+            cg = CodegenBackend(c, ZeroDelay()).run(iter(vectors))
+            _assert_stats_equal(bp, cg)
+
+    def test_monitor_restriction(self, rng):
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=15)
+        vectors = _random_vectors(rng, c, 20)
+        watch = [c.cells[0].outputs[0]]
+        ev = EventDrivenBackend(c, monitor=watch).run(iter(vectors))
+        cg = CodegenBackend(c, monitor=watch).run(iter(vectors))
+        _assert_stats_equal(ev, cg)
+        assert set(cg.per_node) <= set(watch)
+
+
+class TestActivitySession:
+    def test_sharded_codegen_equals_unsharded_event(self, rng):
+        c = random_dag_circuit(rng, n_inputs=5, n_gates=25, with_ffs=True)
+        vectors = _random_vectors(rng, c, 41)
+        reference = ActivityRun(c, backend="event").run(iter(vectors))
+        sharded = ActivityRun(c, backend="codegen").run_sharded(
+            iter(vectors), shards=3
+        )
+        assert sharded.cycles == reference.cycles
+        assert sharded.per_node == reference.per_node
+
+    def test_zero_delay_session_uses_settled_mode(self, rng):
+        c = random_dag_circuit(rng, n_inputs=4, n_gates=18, with_ffs=True)
+        vectors = _random_vectors(rng, c, 25)
+        run = ActivityRun(c, delay_model=ZeroDelay(), backend="codegen")
+        assert run.exact_glitches is False
+        reference = ActivityRun(
+            c, delay_model=ZeroDelay(), backend="bitparallel"
+        ).run(iter(vectors))
+        result = run.run(iter(vectors))
+        assert result.per_node == reference.per_node
+
+    def test_figure5_pinned_with_codegen_backend(self):
+        """The paper's Figure 5 numbers, bit-exact on generated code."""
+        from repro.circuits.adders import build_rca_circuit
+        from repro.sim.vectors import WordStimulus
+
+        circuit, ports = build_rca_circuit(16, with_cin=False)
+        stim = WordStimulus({"a": ports["a"], "b": ports["b"]})
+        result = ActivityRun(circuit, backend="codegen").run(
+            stim.random(random.Random(1995), 4001)
+        )
+        summary = result.summary()
+        assert summary["cycles"] == 4000
+        assert summary["total"] == 117990
+        assert summary["useful"] == 63200
+        assert summary["useless"] == 54790
+        assert summary["rises"] == 58994
+        assert summary["L/F"] == pytest.approx(0.8669, abs=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_codegen_equals_event_property(data):
+    """Hypothesis: RunStats identity on random circuit/delay/stream."""
+    seed = data.draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    c = random_dag_circuit(
+        rng,
+        n_inputs=data.draw(st.integers(min_value=2, max_value=5)),
+        n_gates=data.draw(st.integers(min_value=3, max_value=25)),
+        with_ffs=data.draw(st.booleans()),
+    )
+    dm = data.draw(
+        st.sampled_from([
+            UnitDelay(),
+            SumCarryDelay(dsum=2, dcarry=1),
+            PerKindDelay({CellKind.AND: 2}, default=1),
+        ])
+    )
+    n_cycles = data.draw(st.integers(min_value=1, max_value=12))
+    vectors = [
+        [data.draw(st.integers(min_value=0, max_value=1)) for _ in c.inputs]
+        for _ in range(n_cycles + 1)
+    ]
+    batch = data.draw(st.integers(min_value=1, max_value=6))
+    ev = EventDrivenBackend(c, dm).run(iter(vectors))
+    cg = CodegenBackend(c, dm, batch_cycles=batch).run(iter(vectors))
+    _assert_stats_equal(ev, cg)

@@ -21,6 +21,7 @@ from repro.sim.backends import (
     get_backend,
     select_backend,
 )
+from repro.sim.vector import numpy_available
 from repro.sim.delays import (
     HintedDelay,
     LoadDelay,
@@ -90,26 +91,33 @@ class TestProtocolAndRegistry:
 
 
 class TestSelectBackendPolicy:
-    def test_aggregate_glitch_exact_runs_use_waveform(self):
-        assert select_backend() == "waveform"
-        assert select_backend(UnitDelay()) == "waveform"
-        assert select_backend(SumCarryDelay()) == "waveform"
+    def test_aggregate_glitch_exact_runs_use_fastest(self):
+        # With the [perf] extra the vector backend wins everywhere;
+        # without numpy the policy falls back to the waveform engine.
+        expected = "vector" if numpy_available() else "waveform"
+        assert select_backend() == expected
+        assert select_backend(UnitDelay()) == expected
+        assert select_backend(SumCarryDelay()) == expected
 
     def test_traces_and_vcd_fall_back_to_event(self):
         assert select_backend(record_events=True) == "event"
         assert select_backend(want_traces=True) == "event"
         assert select_backend(UnitDelay(), record_events=True) == "event"
 
-    def test_zero_delay_uses_bitparallel(self):
-        assert select_backend(ZeroDelay()) == "bitparallel"
+    def test_zero_delay_uses_fastest_settled_engine(self):
+        expected = "vector" if numpy_available() else "bitparallel"
+        assert select_backend(ZeroDelay()) == expected
 
     def test_activity_run_resolves_auto(self, xor_chain):
-        assert ActivityRun(xor_chain, backend="auto").backend_name == (
-            "waveform"
-        )
-        assert ActivityRun(
+        glitch = "vector" if numpy_available() else "waveform"
+        settled = "vector" if numpy_available() else "bitparallel"
+        assert ActivityRun(xor_chain, backend="auto").backend_name == glitch
+        run = ActivityRun(
             xor_chain, delay_model=ZeroDelay(), backend="auto"
-        ).backend_name == "bitparallel"
+        )
+        assert run.backend_name == settled
+        assert run.exact_glitches is False
+        assert run.delay_model is None
 
     def test_auto_session_still_produces_event_traces(self, glitchy_and):
         run = ActivityRun(glitchy_and, backend="auto")
