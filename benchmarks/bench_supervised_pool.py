@@ -1,0 +1,104 @@
+"""Supervision overhead benchmark: supervised pool vs the work itself.
+
+Fault tolerance is only free if the supervisor's bookkeeping (private
+dispatch pipes, exitcode watching, deadline checks) stays negligible
+next to real task cost, and if recovering from an injected crash
+costs one retried task — not a stalled sweep.  Three measurements on
+the Figure 5 workload, scaled down:
+
+* sequential in-process execution (the floor),
+* the supervised pool with healthy workers,
+* the supervised pool with every first attempt crash-injected.
+
+Run with ``pytest -s`` to see the measured ratios.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import vectors
+from repro.service import faults
+from repro.service.jobs import JobPoint, _compute_point
+from repro.service.pool import RetryPolicy, run_supervised
+from repro.sim.vectors import UniformStimulus
+
+pytestmark = pytest.mark.benchmark
+
+
+def _docs(n_points: int, n_vectors: int):
+    return [
+        JobPoint(
+            "rca16", "unit", UniformStimulus(seed=s), n_vectors
+        ).to_dict()
+        for s in range(1, n_points + 1)
+    ]
+
+
+@pytest.mark.parametrize("mode", ["sequential", "pool", "pool-chaos"])
+def test_supervised_fanout(benchmark, mode):
+    """One full fan-out per mode; all three must agree bit-exactly."""
+    faults.disarm()
+    docs = _docs(4, vectors(60, 400))
+    policy = RetryPolicy(max_attempts=3, backoff_base_s=0.0, seed=1)
+    processes = None if mode == "sequential" else 2
+    plan = None
+    if mode == "pool-chaos":
+        plan = faults.FaultPlan(
+            seed=7,
+            faults={"worker.crash": faults.FaultSpec(rate=1.0)},
+        )
+
+    def run():
+        if plan is not None:
+            with faults.armed(plan):
+                return run_supervised(
+                    _compute_point, docs,
+                    processes=processes, policy=policy,
+                )
+        return run_supervised(
+            _compute_point, docs, processes=processes, policy=policy,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.completed == len(docs)
+    assert not result.failures and not result.interrupted
+    if mode == "pool-chaos":
+        assert result.n_retries == len(docs)  # every task crashed once
+    reference = [_compute_point(doc) for doc in docs]
+    assert result.payloads == reference
+
+
+def test_crash_recovery_cost(capsys):
+    """Wall-clock: a crash-riddled sweep vs a healthy one."""
+    faults.disarm()
+    docs = _docs(4, vectors(60, 400))
+    policy = RetryPolicy(max_attempts=3, backoff_base_s=0.0, seed=1)
+
+    t0 = time.perf_counter()
+    healthy = run_supervised(
+        _compute_point, docs, processes=2, policy=policy
+    )
+    healthy_s = time.perf_counter() - t0
+
+    plan = faults.FaultPlan(
+        seed=7, faults={"worker.crash": faults.FaultSpec(rate=1.0)}
+    )
+    t0 = time.perf_counter()
+    with faults.armed(plan):
+        chaotic = run_supervised(
+            _compute_point, docs, processes=2, policy=policy
+        )
+    chaos_s = time.perf_counter() - t0
+
+    assert chaotic.payloads == healthy.payloads
+    assert chaotic.n_retries == len(docs)
+    with capsys.disabled():
+        print(
+            f"\n[supervised pool] healthy {healthy_s * 1e3:.0f} ms, "
+            f"all-crash {chaos_s * 1e3:.0f} ms "
+            f"({chaos_s / max(healthy_s, 1e-9):.1f}x; "
+            f"{chaotic.n_retries} respawn+retry cycles)"
+        )

@@ -143,9 +143,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
         backend = select_backend(record_events=True)
     if backend in ("event", "waveform", "codegen", "vector", "auto"):
+        # "auto" is passed through unresolved: ActivityRun/cached_run
+        # resolve it themselves, which arms runtime failover down the
+        # backend chain (an explicitly named backend never falls back).
         delay = _delay_model(args.delay or "unit")
-        if backend == "auto":
-            backend = select_backend(delay)
     elif args.delay is not None:
         raise SystemExit(
             f"--delay {args.delay} has no effect on the zero-delay "
@@ -429,7 +430,24 @@ def cmd_submit(args: argparse.Namespace) -> int:
         points = spec.points()
     except ValueError as exc:
         raise SystemExit(str(exc))
-    scheduler = BatchScheduler(store=store, processes=args.jobs)
+    policy = None
+    if args.retries is not None or args.task_timeout is not None:
+        from repro.service.pool import RetryPolicy
+
+        defaults = RetryPolicy()
+        policy = RetryPolicy(
+            max_attempts=(
+                defaults.max_attempts if args.retries is None
+                else max(1, args.retries + 1)
+            ),
+            timeout_s=(
+                defaults.timeout_s if args.task_timeout is None
+                else args.task_timeout
+            ),
+        )
+    scheduler = BatchScheduler(
+        store=store, processes=args.jobs, policy=policy
+    )
     if args.dry_run:
         hits, misses = scheduler.plan(spec)
         rows = [[p.label(), "hit"] for p, _ in hits]
@@ -448,15 +466,22 @@ def cmd_submit(args: argparse.Namespace) -> int:
         ]
         for o in report.outcomes
     ]
+    title = (
+        f"{report.job_id}: {report.n_hits} hit(s), "
+        f"{report.n_computed} computed in {report.elapsed_s:.2f}s"
+    )
+    if report.n_failed:
+        title += f", {report.n_failed} FAILED"
     print(format_table(
         ["point", "source", "total", "useful", "useless", "L/F"],
-        rows,
-        title=(
-            f"{report.job_id}: {report.n_hits} hit(s), "
-            f"{report.n_computed} computed in {report.elapsed_s:.2f}s"
-        ),
+        rows, title=title,
     ))
-    return 0
+    for failure in report.failures:
+        print(
+            f"[failed] {failure.label}: {failure.kind} after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+    return 1 if report.n_failed else 0
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -491,12 +516,15 @@ def cmd_status(args: argparse.Namespace) -> int:
         [
             r["job_id"], len(r.get("outcomes", [])),
             r.get("hits", 0), r.get("computed", 0),
+            r.get("failed", 0),
+            "yes" if r.get("interrupted") else "no",
             r.get("elapsed_s", 0.0),
         ]
         for r in records
     ]
     print(format_table(
-        ["job", "points", "hits", "computed", "elapsed_s"],
+        ["job", "points", "hits", "computed", "failed", "interrupted",
+         "elapsed_s"],
         rows, title=f"jobs in {store.root}",
     ))
     return 0
@@ -506,6 +534,35 @@ def cmd_cache(args: argparse.Namespace) -> int:
     store = _open_store(args.dir)
     if store is None:
         raise SystemExit("cache requires --dir DIR")
+    if args.action == "verify":
+        report = store.verify()
+        rows = [
+            [p["digest"][:12], p["kind"], p["detail"]]
+            for p in report["problems"]
+        ]
+        title = (
+            f"{report['ok']}/{report['entries']} entrie(s) ok, "
+            f"{len(report['problems'])} problem(s)"
+        )
+        if rows:
+            print(format_table(["digest", "kind", "detail"], rows,
+                               title=title))
+        else:
+            print(title)
+        return 1 if report["problems"] else 0
+    if args.action == "repair":
+        before = store.verify()
+        fixed = store.repair()
+        print(
+            f"dropped {fixed['dropped']} corrupt entrie(s), adopted "
+            f"{fixed['adopted']} orphan object(s), deleted "
+            f"{fixed['deleted']} unparseable orphan(s), swept "
+            f"{fixed['swept_tmp']} stale tmp file(s) "
+            f"({len(before['problems'])} problem(s) found)"
+        )
+        after = store.verify()
+        print(f"{after['ok']}/{after['entries']} entrie(s) ok after repair")
+        return 0
     if args.clear:
         n = store.clear()
         print(f"cleared {n} entrie(s) from {store.root}")
@@ -523,9 +580,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
             [
                 e["digest"][:12],
                 e.get("circuit_name", "?"),
-                e["key"]["n_vectors"],
-                e["key"]["result_class"],
-                e["summary"]["total"],
+                # Entries adopted by index recovery have no decomposed
+                # key (the digest alone addresses them).
+                (e.get("key") or {}).get("n_vectors", "?"),
+                (e.get("key") or {}).get("result_class", "?"),
+                (e.get("summary") or {}).get("total", "?"),
                 e["size"],
             ]
             for e in entries
@@ -831,6 +890,20 @@ def make_parser() -> argparse.ArgumentParser:
         help="worker processes for cache-missing points",
     )
     p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help=(
+            "retry a crashed/hung/failing point up to N times before "
+            "quarantining it (default 2)"
+        ),
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-point wall-clock limit; a worker past it is killed "
+            "and the point retried (default 300)"
+        ),
+    )
+    p.add_argument(
         "--dry-run", action="store_true",
         help="show the hit/miss plan without simulating",
     )
@@ -842,6 +915,14 @@ def make_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("cache", help="inspect or maintain a result store")
+    p.add_argument(
+        "action", nargs="?", default=None, choices=["verify", "repair"],
+        help=(
+            "verify: checksum every entry and report corruption "
+            "(exit 1 on problems); repair: drop corrupt entries, "
+            "adopt orphaned objects, sweep stale temp files"
+        ),
+    )
     p.add_argument("--dir", required=True, metavar="DIR")
     p.add_argument("--clear", action="store_true", help="drop all entries")
     p.add_argument(

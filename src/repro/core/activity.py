@@ -29,21 +29,23 @@ backend (:mod:`repro.sim.backends`) and offers:
 
 from __future__ import annotations
 
-import multiprocessing
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
 from repro.sim.backends import (
     AUTO_BACKEND,
     BACKENDS,
+    BackendDegradedWarning,
     BackendUnavailableError,
     RunStats,
     _resolve_vector,
     backend_unavailable_reason,
     canonical_backend,
+    fallback_candidates,
     get_backend,
     select_backend,
     zero_delay_backend,
@@ -269,18 +271,77 @@ def _stats_to_result(
     )
 
 
+def _stats_with_failover(
+    circuit: Circuit,
+    delay_model: DelayModel,
+    backend_name: str,
+    monitor,
+    vectors,
+    warmup,
+    initial_values,
+    initial_ff_state,
+    failover: bool,
+) -> Tuple[str, RunStats]:
+    """Run *vectors* on *backend_name*, degrading down the chain.
+
+    The runtime half of the ``"auto"`` policy: when the dispatched
+    tier dies with ``MemoryError`` (a 100k-cell batch that doesn't
+    fit), an import failure, or :class:`BackendUnavailableError`
+    (numpy present at selection time, broken in the worker), the run
+    is re-dispatched from scratch on the next tier of
+    :func:`~repro.sim.backends.fallback_candidates` and a structured
+    :class:`~repro.sim.backends.BackendDegradedWarning` is emitted.
+    Backends are pure over their inputs, so the retried stats are
+    bit-identical — every tier of a chain shares one result class.
+
+    Returns ``(backend_that_ran, stats)``.  With ``failover=False``
+    the first failure propagates unchanged.
+    """
+    # Lazy: keeps the sim layer import-independent of the service
+    # layer (faults deliberately imports nothing back).
+    from repro.service import faults
+
+    name = backend_name
+    if failover:
+        # The stream must be replayable for a mid-run re-dispatch.
+        vectors = vectors if isinstance(vectors, list) else list(vectors)
+    zero = isinstance(delay_model, ZeroDelay)
+    while True:
+        try:
+            faults.raise_if(
+                "backend.memoryerror", key=name, exc_type=MemoryError
+            )
+            backend = get_backend(name, circuit, delay_model, monitor)
+            return name, backend.run(
+                vectors,
+                warmup=warmup,
+                initial_values=initial_values,
+                initial_ff_state=initial_ff_state,
+            )
+        except (MemoryError, ImportError, BackendUnavailableError) as exc:
+            candidates = fallback_candidates(name, zero_delay=zero)
+            if not failover or not candidates:
+                raise
+            warnings.warn(
+                BackendDegradedWarning(
+                    name, candidates[0],
+                    f"{type(exc).__name__}: {exc}",
+                ),
+                stacklevel=2,
+            )
+            name = candidates[0]
+
+
 def _run_shard(job) -> ActivityResult:
-    """Run one event-driven shard (module-level for multiprocessing)."""
+    """Run one backend shard (module-level for multiprocessing)."""
     (
         circuit, delay_model, backend_name, monitor, vectors,
         warmup, initial_values, initial_ff_state, delay_description,
+        failover,
     ) = job
-    backend = get_backend(backend_name, circuit, delay_model, monitor)
-    stats = backend.run(
-        vectors,
-        warmup=warmup,
-        initial_values=initial_values,
-        initial_ff_state=initial_ff_state,
+    _, stats = _stats_with_failover(
+        circuit, delay_model, backend_name, monitor, vectors,
+        warmup, initial_values, initial_ff_state, failover,
     )
     return _stats_to_result(stats, circuit.name, delay_description)
 
@@ -315,6 +376,16 @@ class ActivityRun:
     monitor:
         Optional net indices to restrict accounting to; defaults to all
         cell-driven nets.
+    failover:
+        Whether a backend that dies *mid-run* with ``MemoryError`` /
+        an import failure re-dispatches on the next tier of the
+        fallback chain (``vector → codegen → waveform → event``;
+        settled sessions ``vector → codegen → bitparallel``) instead
+        of aborting.  Results stay bit-identical — tiers in one chain
+        share a result class — and each degradation emits a
+        :class:`~repro.sim.backends.BackendDegradedWarning`.  Defaults
+        to ``True`` for ``backend="auto"`` (auto is a *policy*, not a
+        static pick) and ``False`` for an explicitly named backend.
     """
 
     def __init__(
@@ -323,10 +394,16 @@ class ActivityRun:
         delay_model: DelayModel | None = None,
         backend: str = "event",
         monitor: Iterable[int] | None = None,
+        failover: bool | None = None,
     ) -> None:
         self.circuit = circuit
         if backend == AUTO_BACKEND:
             backend = select_backend(delay_model)
+            if failover is None:
+                failover = True
+        self.failover = bool(failover)
+        #: Degradations this session performed (mirrors the warnings).
+        self.degraded: List[str] = []
         self.backend_name = canonical_backend(backend)
         reason = backend_unavailable_reason(self.backend_name)
         if reason is not None:
@@ -411,8 +488,21 @@ class ActivityRun:
         The first vector is consumed as warm-up when *warmup* is
         ``None``, so every counted cycle has a well-defined previous
         computation.
+
+        With :attr:`failover` enabled (the ``auto`` default), a
+        mid-run ``MemoryError``/import failure re-dispatches on the
+        next fallback tier; the session then *stays* on the degraded
+        tier (:attr:`backend_name` is updated) so subsequent runs
+        don't re-trip the same failure.
         """
-        stats = self._make_backend().run(vectors, warmup=warmup)
+        ran_on, stats = _stats_with_failover(
+            self.circuit, self._effective_delay_model(),
+            self.backend_name, self.monitor, vectors, warmup,
+            None, None, self.failover,
+        )
+        if ran_on != self.backend_name:
+            self.degraded.append(f"{self.backend_name}->{ran_on}")
+            self.backend_name = ran_on
         return _stats_to_result(
             stats,
             self.circuit.name,
@@ -434,9 +524,11 @@ class ActivityRun:
         exact boundary state (settled net values + flipflop state,
         fast-forwarded with the fastest zero-delay engine).  The
         merged result is bit-identical to :meth:`run` on the same
-        stream.  With *processes* > 1 the shards run in a
-        ``multiprocessing`` pool; otherwise they run sequentially
-        in-process (still exercising the merge path).
+        stream.  With *processes* > 1 the shards run under the
+        supervised worker pool (:func:`repro.service.pool.run_supervised`
+        — crashed/hung shard workers are respawned and the shard is
+        retried); otherwise they run sequentially in-process (still
+        exercising the merge path).
         """
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -477,7 +569,7 @@ class ActivityRun:
                 self.monitor, seg,
                 warmup if s == 0 else None,
                 values, dict(state) if state is not None else None,
-                self.delay_description,
+                self.delay_description, self.failover,
             ))
             if s < shards - 1:
                 stats = ff.run(
@@ -490,8 +582,26 @@ class ActivityRun:
                 state = stats.final_ff_state
 
         if processes and processes > 1 and shards > 1:
-            with multiprocessing.Pool(min(processes, shards)) as pool:
-                shard_results = pool.map(_run_shard, jobs)
+            # Lazy: the service layer imports core, not vice versa.
+            from repro.service.pool import run_supervised
+
+            pool_result = run_supervised(
+                _run_shard, jobs,
+                processes=min(processes, shards),
+                keys=[f"shard-{s}/{shards}" for s in range(shards)],
+                labels=[
+                    f"{self.circuit.name} shard {s}" for s in range(shards)
+                ],
+            )
+            if pool_result.interrupted:
+                raise KeyboardInterrupt
+            if pool_result.failures:
+                first = pool_result.failures[0]
+                raise RuntimeError(
+                    f"{len(pool_result.failures)} shard(s) failed after "
+                    f"retries; first: {first.label}: {first.error}"
+                )
+            shard_results = list(pool_result.payloads)
         else:
             shard_results = [_run_shard(job) for job in jobs]
 

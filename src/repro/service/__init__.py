@@ -20,11 +20,23 @@ with partial-hit resume:
   shared across stimulus seeds).
 * :mod:`repro.service.jobs` — :class:`JobSpec` sweeps expanded into
   :class:`JobPoint`\\ s and executed by the :class:`BatchScheduler`
-  over a ``multiprocessing`` pool; only cache-missing points
+  over the supervised worker pool; only cache-missing points
   simulate.
+* :mod:`repro.service.pool` — :func:`run_supervised`: the fan-out
+  primitive all batch paths use.  Worker death and hangs are detected
+  and the task retried with deterministic backoff
+  (:class:`RetryPolicy`); tasks that exhaust the budget become
+  structured :class:`TaskFailure` quarantine records; an interrupt
+  salvages every completed payload.
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness behind the chaos suite: a seeded :class:`FaultPlan` arms
+  named injection points (worker crash/hang, torn or failing store
+  writes, backend ``MemoryError``) whose firing is a pure function of
+  (seed, site identity), so any chaos run replays exactly.
 
 The CLI exposes the service as ``repro.cli submit / status / cache``
-and via ``--cache DIR`` on ``analyze`` and ``experiment``.
+(including ``cache verify|repair``) and via ``--cache DIR`` on
+``analyze`` and ``experiment``.
 """
 
 from repro.service.store import (
@@ -57,6 +69,14 @@ from repro.service.jobs import (
     load_job_records,
     resolve_delay,
 )
+from repro.service.faults import FaultPlan, FaultSpec
+from repro.service.pool import (
+    PoolResult,
+    RetryPolicy,
+    TaskFailure,
+    run_supervised,
+)
+from repro.service.store import StoreWriteWarning
 
 __all__ = [
     "ESTIMATE",
@@ -83,4 +103,11 @@ __all__ = [
     "PointOutcome",
     "load_job_records",
     "resolve_delay",
+    "FaultPlan",
+    "FaultSpec",
+    "PoolResult",
+    "RetryPolicy",
+    "StoreWriteWarning",
+    "TaskFailure",
+    "run_supervised",
 ]

@@ -10,10 +10,21 @@ which expand via Cartesian product into independent
 The :class:`BatchScheduler` resolves each point against the result
 store first (**partial-hit resume**: re-submitting an overlapping
 sweep simulates only the cache-missing points), fans the misses out
-over a ``multiprocessing`` pool, and writes every computed result
-back.  Workers never touch the store — they return serialized
-payloads and the parent performs all index mutations — so there is a
-single writer per store by construction.
+over the supervised worker pool
+(:func:`repro.service.pool.run_supervised` — crashed or hung workers
+are respawned and their tasks retried with deterministic backoff),
+and writes every computed result back.  Workers never touch the
+store — they return serialized payloads and the parent performs all
+index mutations — so there is a single writer per store by
+construction.
+
+Failure semantics: a point that keeps failing past the retry budget
+is **quarantined** — recorded as a ``"failed"``
+:class:`PointOutcome` with its :class:`~repro.service.pool.TaskFailure`
+persisted on the job record — while every other point's result is
+kept.  A ``KeyboardInterrupt`` mid-batch persists all
+already-completed points (and the partial job record) before
+re-raising, so an interrupted sweep resumes from where it stopped.
 
 Job records are persisted under ``<store>/jobs/<job_id>.json`` so
 ``repro.cli status`` can report past batches.
@@ -23,13 +34,13 @@ from __future__ import annotations
 
 import itertools
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuits.catalog import build_named_circuit, validate_name
+from repro.service.pool import RetryPolicy, TaskFailure, run_supervised
 from repro.service.runner import estimate_key, run_key
 from repro.service.store import (
     ResultStore,
@@ -188,12 +199,23 @@ class JobSpec:
         }
 
 
+def _zero_summary() -> Dict[str, float]:
+    """The headline summary shape with every aggregate zeroed.
+
+    Quarantined points report this so every surface that tabulates
+    summaries (CLI tables read ``total``/``useful``/``useless``/
+    ``L/F`` unconditionally) renders failed rows without special
+    cases.
+    """
+    return {"total": 0, "useful": 0, "useless": 0, "L/F": 0.0}
+
+
 @dataclass
 class PointOutcome:
-    """What happened to one point: served from cache or simulated."""
+    """What happened to one point: cache hit, simulated, or quarantined."""
 
     point: JobPoint
-    status: str  # "hit" | "computed"
+    status: str  # "hit" | "computed" | "failed"
     summary: Dict[str, float]
 
     def to_dict(self) -> Dict[str, Any]:
@@ -206,11 +228,19 @@ class PointOutcome:
 
 @dataclass
 class BatchReport:
-    """Outcome of one scheduler batch."""
+    """Outcome of one scheduler batch.
+
+    *failures* holds the structured quarantine records
+    (:class:`~repro.service.pool.TaskFailure`) for every ``"failed"``
+    outcome; *interrupted* marks a batch cut short by
+    ``KeyboardInterrupt`` after its completed points were persisted.
+    """
 
     job_id: str
     outcomes: List[PointOutcome]
     elapsed_s: float
+    failures: List[TaskFailure] = field(default_factory=list)
+    interrupted: bool = False
 
     @property
     def n_hits(self) -> int:
@@ -220,12 +250,19 @@ class BatchReport:
     def n_computed(self) -> int:
         return sum(1 for o in self.outcomes if o.status == "computed")
 
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "job_id": self.job_id,
             "outcomes": [o.to_dict() for o in self.outcomes],
             "hits": self.n_hits,
             "computed": self.n_computed,
+            "failed": self.n_failed,
+            "interrupted": self.interrupted,
+            "failures": [f.to_dict() for f in self.failures],
             "elapsed_s": round(self.elapsed_s, 3),
         }
 
@@ -368,6 +405,7 @@ def run_circuit_tasks(
     tasks: Sequence[CircuitTask],
     store: ResultStore | None = None,
     processes: int | None = None,
+    policy: RetryPolicy | None = None,
 ) -> List[Dict[str, Any]]:
     """Execute explicit-circuit tasks with cache resume and fan-out.
 
@@ -376,8 +414,16 @@ def run_circuit_tasks(
     resume — re-running an exploration whose candidates were simulated
     before does zero simulation work); key-identical misses (distinct
     labels, fingerprint-identical circuits) are computed once; the
-    rest fan out over a ``multiprocessing`` pool when *processes* > 1.
-    All computed results are written back through the parent.
+    rest fan out over the supervised pool
+    (:func:`repro.service.pool.run_supervised`, governed by *policy*)
+    when *processes* > 1.  All computed results are written back
+    through the parent.
+
+    Every completed payload is persisted **before** error reporting:
+    a ``KeyboardInterrupt`` re-raises after the write-back, and tasks
+    quarantined past the retry budget raise ``RuntimeError`` after it
+    — either way a re-run resumes from the cache instead of redoing
+    finished work.
     """
     payloads: List[Any] = [None] * len(tasks)
     misses: List[Tuple[int, Any]] = []
@@ -410,18 +456,43 @@ def run_circuit_tasks(
         slot_of.append(len(unique))
         unique.append((i, key))
 
+    # Site keys identify a task by content (its run-key digest) where
+    # possible: retry jitter and fault-injection decisions then follow
+    # the task across workers, attempts, and re-runs.
+    site_keys = [
+        key.digest() if key is not None else f"task-{i}:{tasks[i].label}"
+        for i, key in unique
+    ]
+    labels = [tasks[i].label for i, _ in unique]
     if processes and processes > 1 and len(unique) > 1:
         docs = [tasks[i].to_dict() for i, _ in unique]
-        with multiprocessing.Pool(min(processes, len(docs))) as pool:
-            computed = pool.map(_compute_circuit_task, docs)
+        pool_result = run_supervised(
+            _compute_circuit_task, docs,
+            processes=min(processes, len(docs)),
+            policy=policy, keys=site_keys, labels=labels,
+        )
     else:
         # In-process: simulate against the parent's live circuits —
         # no JSON round-trip, and the compile memo stays warm.
-        computed = [_simulate_circuit_task(tasks[i]) for i, _ in unique]
+        pool_result = run_supervised(
+            _simulate_circuit_task, [tasks[i] for i, _ in unique],
+            processes=None, policy=policy, keys=site_keys, labels=labels,
+        )
+    computed = pool_result.payloads
+    # Salvage first: persist whatever finished, *then* report trouble.
     if store is not None and unique:
         with store.deferred():  # one index write for the batch
             for (_, key), payload in zip(unique, computed):
-                store.put(key, payload)
+                if payload is not None:
+                    store.put(key, payload)
+    if pool_result.interrupted:
+        raise KeyboardInterrupt
+    if pool_result.failures:
+        first = pool_result.failures[0]
+        raise RuntimeError(
+            f"{len(pool_result.failures)} circuit task(s) quarantined "
+            f"after retries; first: {first.label}: {first.error}"
+        )
     for (i, _), slot in zip(misses, slot_of):
         payloads[i] = computed[slot]
     return payloads
@@ -438,15 +509,20 @@ class BatchScheduler:
     processes:
         Worker processes for cache-missing points; ``None`` or ``1``
         runs them sequentially in-process.
+    policy:
+        Retry/timeout/quarantine budget for the supervised pool
+        (default :class:`~repro.service.pool.RetryPolicy`).
     """
 
     def __init__(
         self,
         store: ResultStore | None = None,
         processes: int | None = None,
+        policy: RetryPolicy | None = None,
     ) -> None:
         self.store = store
         self.processes = processes
+        self.policy = policy
 
     # ------------------------------------------------------------------
     def plan(
@@ -504,6 +580,12 @@ class BatchScheduler:
         batch either.  The job record (spec, per-point status,
         aggregates) is written under the store's ``jobs/`` directory
         when a store is configured.
+
+        Fault tolerance: points that exhaust the retry budget come
+        back as ``"failed"`` outcomes with zeroed summaries and their
+        quarantine records on the report — the batch itself succeeds.
+        ``KeyboardInterrupt`` persists every completed point and a
+        partial job record (``interrupted: true``) before re-raising.
         """
         start = time.monotonic()
         points = spec.points()
@@ -531,30 +613,52 @@ class BatchScheduler:
             unique.append((point, key))
 
         docs = [p.to_dict() for p, _ in unique]
+        site_keys = [
+            key.digest() if key is not None else f"point-{j}"
+            for j, (_, key) in enumerate(unique)
+        ]
+        labels = [p.label() for p, _ in unique]
+        processes = None
         if self.processes and self.processes > 1 and len(docs) > 1:
-            with multiprocessing.Pool(
-                min(self.processes, len(docs))
-            ) as pool:
-                computed = pool.map(_compute_point, docs)
-        else:
-            computed = [_compute_point(doc) for doc in docs]
+            processes = min(self.processes, len(docs))
+        pool_result = run_supervised(
+            _compute_point, docs,
+            processes=processes, policy=self.policy,
+            keys=site_keys, labels=labels,
+        )
+        computed = pool_result.payloads
+        # Salvage first: persist everything that finished before any
+        # outcome accounting or interrupt re-raise.
         if self.store is not None and unique:
             with self.store.deferred():  # one index write for the batch
                 for (_, key), payload in zip(unique, computed):
-                    self.store.put(key, payload)
+                    if payload is not None:
+                        self.store.put(key, payload)
+        failed_slots = {f.index for f in pool_result.failures}
         for (point, _), slot in zip(misses, slot_of):
-            outcomes[point] = PointOutcome(
-                point, "computed", payload_summary(computed[slot])
-            )
+            if computed[slot] is not None:
+                outcomes[point] = PointOutcome(
+                    point, "computed", payload_summary(computed[slot])
+                )
+            elif slot in failed_slots:
+                outcomes[point] = PointOutcome(
+                    point, "failed", _zero_summary()
+                )
+            # else: unresolved at interrupt time — not part of the
+            # (partial) report at all.
 
         report = BatchReport(
             job_id=job_id or _new_job_id(spec, self.store),
-            outcomes=[outcomes[p] for p in points],
+            outcomes=[outcomes[p] for p in points if p in outcomes],
             elapsed_s=time.monotonic() - start,
+            failures=list(pool_result.failures),
+            interrupted=pool_result.interrupted,
         )
         if self.store is not None:
             _write_job_record(self.store, spec, report)
             self.store.flush()  # persist hit recency for LRU fairness
+        if pool_result.interrupted:
+            raise KeyboardInterrupt
         return report
 
 
@@ -579,6 +683,10 @@ def _new_job_id(spec: JobSpec, store: ResultStore | None) -> str:
 def _write_job_record(
     store: ResultStore, spec: JobSpec, report: BatchReport
 ) -> Path:
+    import warnings
+
+    from repro.service.store import StoreWriteWarning
+
     store.jobs_dir.mkdir(parents=True, exist_ok=True)
     path = store.jobs_dir / f"{report.job_id}.json"
     record = {
@@ -587,7 +695,18 @@ def _write_job_record(
         "spec": spec.to_dict(),
         **report.to_dict(),
     }
-    _atomic_write(path, json.dumps(record, sort_keys=True, indent=1) + "\n")
+    try:
+        _atomic_write(
+            path, json.dumps(record, sort_keys=True, indent=1) + "\n"
+        )
+    except OSError as exc:
+        # The batch's results are already persisted (or returned);
+        # losing the job record is not worth aborting over.
+        warnings.warn(
+            f"job record {report.job_id} not written ({exc})",
+            StoreWriteWarning,
+            stacklevel=2,
+        )
     return path
 
 

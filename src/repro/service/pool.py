@@ -1,0 +1,509 @@
+"""Supervised worker pool: fan-out that survives dying workers.
+
+``multiprocessing.Pool`` treats a dead worker as a protocol error: one
+OOM-killed or segfaulted child can deadlock or abort a whole sweep,
+a hung task stalls it forever, and a ``KeyboardInterrupt`` tears the
+pool down with every completed-but-unreturned result lost.  This
+module replaces it for all service fan-out paths with an explicitly
+supervised pool:
+
+* **worker death is detected** by watching each child's ``exitcode``;
+  the in-flight task is attributed a ``"crash"`` failure and the
+  worker is respawned;
+* **per-task wall-clock timeouts**: a task that exceeds
+  :attr:`RetryPolicy.timeout_s` gets its worker killed (``"hang"``)
+  and respawned;
+* **bounded retry with deterministic jitter**: failed/hung/crashed
+  tasks are retried up to :attr:`RetryPolicy.max_attempts` times with
+  exponential backoff whose jitter is a pure hash of (seed, task key,
+  attempt) — a replayed chaos run backs off identically;
+* **quarantine**: a task that exhausts its attempts becomes a
+  structured :class:`TaskFailure` (persisted on the job record by the
+  scheduler) instead of an exception that aborts the batch;
+* **interrupt salvage**: on ``KeyboardInterrupt`` the supervisor
+  terminates its workers and *returns* every completed payload with
+  ``interrupted=True``, so callers can persist finished work before
+  re-raising.
+
+Because every task in this codebase is pure (content-addressed in,
+serialized payload out), a retried task returns a bit-identical
+payload — which is what lets the chaos suite assert that sweeps under
+injected faults equal fault-free runs exactly.
+
+Workers run :func:`_worker_main`: a dispatch loop fed by a dedicated
+pipe per worker (so the supervisor always knows which task a dead
+worker held) reporting into one shared result queue.  Fault-injection
+hooks (:mod:`repro.service.faults`) live in the worker loop, not in
+task functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.service import faults
+
+
+def _jitter_fraction(seed: int, key: str, attempt: int) -> float:
+    """Deterministic backoff jitter in ``[0, 1)`` (replayable runs)."""
+    digest = hashlib.sha256(
+        f"repro-backoff-v1|{seed}|{key}|{attempt}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor retries, times out and quarantines tasks."""
+
+    #: Total attempts per task (1 = never retry).
+    max_attempts: int = 3
+    #: Per-task wall-clock limit; ``None`` disables hang detection.
+    timeout_s: Optional[float] = 300.0
+    #: Exponential backoff: ``base * 2**attempt`` capped at ``cap``.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Extra deterministic jitter as a fraction of the backoff.
+    jitter: float = 0.5
+    #: Seed for the jitter hash (chaos runs pin this).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff must be >= 0")
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before retrying *key* after failed attempt *attempt*."""
+        base = min(
+            self.backoff_base_s * (2 ** attempt), self.backoff_cap_s
+        )
+        return base * (1.0 + self.jitter * _jitter_fraction(
+            self.seed, key, attempt
+        ))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "timeout_s": self.timeout_s,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_cap_s": self.backoff_cap_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class TaskFailure:
+    """A quarantined task: every attempt failed.
+
+    ``kind`` is the *last* failure mode — ``"crash"`` (worker died),
+    ``"hang"`` (task timeout), or ``"error"`` (the task function
+    raised); ``history`` records every attempt for the job record.
+    """
+
+    index: int
+    key: str
+    label: str
+    attempts: int
+    kind: str
+    error: str
+    history: List[Dict[str, str]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "label": self.label,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+            "history": list(self.history),
+        }
+
+
+@dataclass
+class PoolResult:
+    """Everything a supervised fan-out produced.
+
+    ``payloads`` is index-aligned with the submitted items;
+    quarantined or (on interrupt) unfinished slots hold ``None``.
+    """
+
+    payloads: List[Any]
+    failures: List[TaskFailure] = field(default_factory=list)
+    interrupted: bool = False
+    n_retries: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for p in self.payloads if p is not None)
+
+
+@dataclass
+class _TaskState:
+    index: int
+    key: str
+    label: str
+    attempt: int = 0
+    history: List[Dict[str, str]] = field(default_factory=list)
+
+    def record(self, kind: str, error: str) -> None:
+        self.history.append(
+            {"attempt": str(self.attempt), "kind": kind, "error": error}
+        )
+
+
+def _worker_main(worker_id: int, func: Callable, conn, result_q) -> None:
+    """Dispatch loop for one supervised worker process.
+
+    Receives ``(index, attempt, key, item)`` on its private pipe,
+    reports ``(worker_id, index, attempt, ok, payload_or_error)`` on
+    the shared queue.  Armed worker faults (crash/hang) fire here —
+    between receipt and execution — so a "crashed" worker really does
+    die holding the task, exactly like the failure being simulated.
+    """
+    faults.enter_worker()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:
+            break
+        index, attempt, key, item = msg
+        try:
+            faults.worker_faults(key, attempt)
+            payload = func(item)
+        except KeyboardInterrupt:
+            break
+        except BaseException as exc:  # noqa: BLE001 - reported, not hidden
+            try:
+                result_q.put((
+                    worker_id, index, attempt, False,
+                    f"{type(exc).__name__}: {exc}",
+                ))
+            except (OSError, ValueError):
+                break
+        else:
+            try:
+                result_q.put((worker_id, index, attempt, True, payload))
+            except (OSError, ValueError):
+                break
+
+
+class _Worker:
+    """Supervisor-side handle: process + task pipe + current task."""
+
+    def __init__(self, worker_id: int, func: Callable, result_q) -> None:
+        self.id = worker_id
+        recv_end, self.conn = multiprocessing.Pipe(duplex=False)
+        self.proc = multiprocessing.Process(
+            target=_worker_main,
+            args=(worker_id, func, recv_end, result_q),
+            daemon=True,
+        )
+        self.proc.start()
+        recv_end.close()  # child's end; the parent only sends
+        self.busy: Optional[_TaskState] = None
+        self.deadline: Optional[float] = None
+
+    def dispatch(
+        self, state: _TaskState, item: Any, timeout_s: Optional[float]
+    ) -> bool:
+        try:
+            self.conn.send((state.index, state.attempt, state.key, item))
+        except (BrokenPipeError, OSError):
+            return False
+        self.busy = state
+        self.deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        return True
+
+    def idle(self) -> None:
+        self.busy = None
+        self.deadline = None
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover - defensive
+            pass
+        self.proc.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=1.0)
+        if self.proc.is_alive():
+            self.kill()
+        self.conn.close()
+
+
+def _default_keys(items: Sequence[Any]) -> List[str]:
+    """Stable per-item site keys when the caller provides none."""
+    keys = []
+    for i, item in enumerate(items):
+        try:
+            text = repr(sorted(item.items())) if isinstance(item, dict) \
+                else repr(item)
+        except Exception:  # pragma: no cover - exotic reprs
+            text = f"item-{i}"
+        digest = hashlib.sha256(text.encode(errors="replace")).hexdigest()
+        keys.append(f"task-{digest[:16]}")
+    return keys
+
+
+def run_supervised(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    processes: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    keys: Optional[Sequence[str]] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> PoolResult:
+    """Run ``func(item)`` for every item under supervision.
+
+    With ``processes`` <= 1 (or a single item) the tasks run
+    sequentially in-process — same retry/quarantine semantics, no
+    workers, and a ``KeyboardInterrupt`` still salvages completed
+    payloads.  Otherwise tasks fan out over ``processes`` supervised
+    worker processes (*func* and every item must be picklable).
+
+    *keys* are stable site identities used for deterministic backoff
+    jitter and fault-injection decisions (defaults to a content hash
+    of each item); *labels* are human-readable names for failure
+    records.
+    """
+    policy = policy or RetryPolicy()
+    items = list(items)
+    n = len(items)
+    if keys is None:
+        keys = _default_keys(items)
+    elif len(keys) != n:
+        raise ValueError("keys must align with items")
+    if labels is None:
+        labels = [str(k) for k in keys]
+    elif len(labels) != n:
+        raise ValueError("labels must align with items")
+    if n == 0:
+        return PoolResult(payloads=[])
+
+    if not processes or processes <= 1 or n == 1:
+        return _run_sequential(func, items, policy, keys, labels)
+    return _run_pool(
+        func, items, min(processes, n), policy, keys, labels
+    )
+
+
+def _run_sequential(
+    func, items, policy: RetryPolicy, keys, labels
+) -> PoolResult:
+    result = PoolResult(payloads=[None] * len(items))
+    for i, item in enumerate(items):
+        state = _TaskState(index=i, key=keys[i], label=labels[i])
+        while True:
+            try:
+                result.payloads[i] = func(item)
+                break
+            except KeyboardInterrupt:
+                result.interrupted = True
+                return result
+            except Exception as exc:
+                state.record("error", f"{type(exc).__name__}: {exc}")
+                state.attempt += 1
+                if state.attempt >= policy.max_attempts:
+                    result.failures.append(TaskFailure(
+                        index=i, key=state.key, label=state.label,
+                        attempts=state.attempt, kind="error",
+                        error=state.history[-1]["error"],
+                        history=state.history,
+                    ))
+                    break
+                result.n_retries += 1
+                delay = policy.backoff_s(state.key, state.attempt - 1)
+                if delay > 0:
+                    try:
+                        time.sleep(delay)
+                    except KeyboardInterrupt:
+                        result.interrupted = True
+                        return result
+    return result
+
+
+def _run_pool(
+    func, items, n_workers: int, policy: RetryPolicy, keys, labels
+) -> PoolResult:
+    result = PoolResult(payloads=[None] * len(items))
+    result_q: multiprocessing.Queue = multiprocessing.Queue()
+    workers: List[_Worker] = []
+    next_worker_id = 0
+
+    def spawn() -> _Worker:
+        nonlocal next_worker_id
+        w = _Worker(next_worker_id, func, result_q)
+        next_worker_id += 1
+        workers.append(w)
+        return w
+
+    #: (ready_at, _TaskState) waiting to be dispatched.
+    pending: List[tuple] = [
+        (0.0, _TaskState(index=i, key=keys[i], label=labels[i]))
+        for i in range(len(items))
+    ]
+    #: index -> attempt currently outstanding (stale results ignored).
+    outstanding: Dict[int, int] = {}
+    unresolved = len(items)
+
+    def fail_or_retry(state: _TaskState, kind: str, error: str) -> None:
+        nonlocal unresolved
+        state.record(kind, error)
+        state.attempt += 1
+        if state.attempt >= policy.max_attempts:
+            result.failures.append(TaskFailure(
+                index=state.index, key=state.key, label=state.label,
+                attempts=state.attempt, kind=kind, error=error,
+                history=state.history,
+            ))
+            unresolved -= 1
+            return
+        result.n_retries += 1
+        ready = time.monotonic() + policy.backoff_s(
+            state.key, state.attempt - 1
+        )
+        pending.append((ready, state))
+
+    try:
+        for _ in range(n_workers):
+            spawn()
+        while unresolved > 0:
+            now = time.monotonic()
+            # Dispatch every ready pending task to an idle live worker.
+            idle = [w for w in workers if w.busy is None and w.alive()]
+            pending.sort(key=lambda rs: rs[0])
+            while idle and pending and pending[0][0] <= now:
+                _, state = pending.pop(0)
+                w = idle.pop()
+                if not w.dispatch(
+                    state, items[state.index], policy.timeout_s
+                ):
+                    # Pipe already broken: treat as an instant crash.
+                    pending.insert(0, (now, state))
+                    continue
+                outstanding[state.index] = state.attempt
+
+            # Wait for a result, bounded by the nearest deadline/retry.
+            wait = 0.05
+            deadlines = [
+                w.deadline for w in workers if w.deadline is not None
+            ]
+            if deadlines:
+                wait = min(wait, max(0.0, min(deadlines) - now))
+            if pending:
+                wait = min(wait, max(0.0, pending[0][0] - now))
+            try:
+                msg = result_q.get(timeout=max(wait, 0.005))
+            except queue_mod.Empty:
+                msg = None
+
+            if msg is not None:
+                worker_id, index, attempt, ok, payload = msg
+                w = next(
+                    (x for x in workers if x.id == worker_id), None
+                )
+                if w is not None and w.busy is not None \
+                        and w.busy.index == index:
+                    state = w.busy
+                    w.idle()
+                else:
+                    state = None
+                if outstanding.get(index) == attempt:
+                    del outstanding[index]
+                    if ok:
+                        result.payloads[index] = payload
+                        unresolved -= 1
+                    elif state is not None:
+                        fail_or_retry(state, "error", str(payload))
+                    else:  # pragma: no cover - crash right after report
+                        fail_or_retry(
+                            _TaskState(
+                                index=index, key=keys[index],
+                                label=labels[index], attempt=attempt,
+                            ),
+                            "error", str(payload),
+                        )
+                # else: stale report from a killed/raced worker; drop.
+
+            # Reap dead workers and time out hung ones.
+            now = time.monotonic()
+            for w in list(workers):
+                if not w.alive():
+                    exitcode = w.proc.exitcode
+                    state = w.busy
+                    workers.remove(w)
+                    w.conn.close()
+                    w.proc.join(timeout=1.0)
+                    if state is not None \
+                            and outstanding.get(state.index) \
+                            == state.attempt:
+                        del outstanding[state.index]
+                        fail_or_retry(
+                            state, "crash",
+                            f"worker died (exitcode {exitcode})",
+                        )
+                    if unresolved > 0:
+                        spawn()
+                elif w.deadline is not None and now > w.deadline:
+                    state = w.busy
+                    workers.remove(w)
+                    w.kill()
+                    w.conn.close()
+                    if state is not None \
+                            and outstanding.get(state.index) \
+                            == state.attempt:
+                        del outstanding[state.index]
+                        fail_or_retry(
+                            state, "hang",
+                            f"task exceeded {policy.timeout_s}s "
+                            "wall-clock timeout",
+                        )
+                    if unresolved > 0:
+                        spawn()
+    except KeyboardInterrupt:
+        result.interrupted = True
+        # Drain any results that arrived before the interrupt so the
+        # caller can persist every finished point.
+        while True:
+            try:
+                worker_id, index, attempt, ok, payload = result_q.get(
+                    timeout=0.05
+                )
+            except (queue_mod.Empty, OSError):
+                break
+            if ok and result.payloads[index] is None \
+                    and outstanding.get(index) == attempt:
+                result.payloads[index] = payload
+        for w in workers:
+            w.kill()
+            w.conn.close()
+        workers.clear()
+    finally:
+        for w in workers:
+            w.shutdown()
+        result_q.close()
+        result_q.join_thread()
+    return result

@@ -18,12 +18,24 @@ Design points:
 * **per-net counts are keyed by net name** in the serialized payload,
   the same identity the fingerprints use, and are re-mapped onto the
   requesting circuit's net indices on retrieval.
-* **atomic writes** — object files and the JSON-lines index are
-  written to a temporary file and ``os.replace``d, so a crashed or
-  concurrent writer never leaves a torn entry.  Index writes *merge*
-  with the on-disk state first (minus this store's own evictions), so
-  several processes sharing one directory may race on recency but
-  cannot erase each other's entries.
+* **atomic, durable writes** — object files and the JSON-lines index
+  are written to a temporary file, fsynced, ``os.replace``d, and the
+  parent directory is fsynced, so an accepted write survives both a
+  crashed writer and a power loss.  Index writes *merge* with the
+  on-disk state first (minus this store's own evictions), so several
+  processes sharing one directory may race on recency but cannot
+  erase each other's entries.
+* **crash-safe by verification** — every object carries a content
+  checksum in its index entry, verified on read; opening a store runs
+  a recovery scan (stale ``.tmp`` files swept, torn index lines
+  dropped, entries whose object file vanished healed, and the whole
+  index re-derived from the object files when it is unreadable).
+  :meth:`ResultStore.verify` / :meth:`ResultStore.repair` expose the
+  deep scan as ``repro cache --dir DIR verify|repair``.
+* **advisory locking** — index rewrites take an exclusive ``flock`` on
+  ``<root>/.lock`` (POSIX; a no-op elsewhere), so concurrent writers
+  sharing ``REPRO_CACHE_DIR`` serialize their read-merge-write
+  critical sections instead of interleaving them.
 * **LRU size bound** — ``max_bytes`` caps the total object payload;
   least-recently-*used* entries are evicted on insert.  Recency is
   updated in memory on every hit and persisted at the next mutation.
@@ -33,6 +45,7 @@ The store is a plain directory::
     <root>/index.jsonl        one JSON object per entry
     <root>/objects/<digest>.json
     <root>/jobs/<job_id>.json (written by the batch scheduler)
+    <root>/.lock              advisory writer lock
 """
 
 from __future__ import annotations
@@ -41,11 +54,17 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.core.activity import ActivityResult, summarize_counts
 from repro.core.transitions import NodeActivity
@@ -253,15 +272,53 @@ def payload_summary(payload: Dict[str, Any]) -> Dict[str, float]:
     )
 
 
-def _atomic_write(path: Path, data: str) -> None:
-    """Write *data* to *path* via a same-directory temp file + rename."""
+class StoreWriteWarning(RuntimeWarning):
+    """A store write failed and the entry was skipped (not fatal).
+
+    The result that was being cached is still returned to the caller;
+    only its persistence is lost.  Carries the failing path and the
+    original error text.
+    """
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage."""
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync on NFS dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: str, durable: bool = True) -> None:
+    """Write *data* to *path* atomically and (by default) durably.
+
+    Same-directory temp file + fsync + rename + parent-directory
+    fsync: after this returns, the write survives a crash or power
+    loss — a reader sees either the old content or all of *data*,
+    never a torn mix.  ``durable=False`` skips the fsyncs for callers
+    whose data is reproducible scratch.
+    """
+    from repro.service import faults
+
+    faults.raise_if("store.write_oserror", key=path.name)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(data)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if durable:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -284,6 +341,7 @@ class ResultStore:
     """
 
     INDEX = "index.jsonl"
+    LOCK = ".lock"
 
     def __init__(self, root: str | os.PathLike, max_bytes: int | None = None):
         if max_bytes is not None and max_bytes < 0:
@@ -305,8 +363,124 @@ class ResultStore:
         #: Session counters (not persisted).
         self.hits = 0
         self.misses = 0
-        for entry in self._read_disk_index():
+        #: Human-readable notes from the open-time recovery scan.
+        self.recovery_notes: List[str] = []
+        with self._locked():
+            self._recover_open()
+
+    # -- locking -------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive advisory lock for index read-merge-write sections.
+
+        Serializes concurrent writers sharing one directory so index
+        rewrites (and recovery scans) cannot interleave.  Advisory
+        only — readers that never rewrite the index are not blocked —
+        and a no-op where ``fcntl`` is unavailable.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        try:
+            fh = open(self.root / self.LOCK, "a+")
+        except OSError:  # pragma: no cover - unwritable root
+            yield
+            return
+        try:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+        finally:
+            fh.close()
+
+    # -- recovery ------------------------------------------------------
+    def _recover_open(self) -> None:
+        """Bring the on-disk state back to a consistent view on open.
+
+        1. Sweep stale ``.tmp`` files (leftovers of writers that died
+           mid-:func:`_atomic_write`; the rename never happened, so
+           they are invisible to readers and safe to delete).
+        2. Load the index, skipping torn lines; when the index file
+           itself is unreadable, re-derive it from the object files.
+        3. Drop entries whose object file has vanished (a crashed
+           eviction: index rewrite raced the unlink).
+        """
+        for note in self._sweep_tmp_files():
+            self.recovery_notes.append(note)
+        rebuilt = False
+        try:
+            entries = self._read_disk_index()
+        except (OSError, UnicodeDecodeError) as exc:
+            self.recovery_notes.append(
+                f"index unreadable ({exc}); rebuilt from object files"
+            )
+            entries = self._rebuild_entries_from_objects()
+            rebuilt = True
+        for entry in entries:
             self._index[entry["digest"]] = entry
+        missing = [
+            digest for digest in self._index
+            if not self._object_path(digest).exists()
+        ]
+        for digest in missing:
+            del self._index[digest]
+            self._tombstones.add(digest)
+            self._dirty = True
+            self.recovery_notes.append(
+                f"dropped entry {digest[:12]} (object file missing)"
+            )
+        if rebuilt:
+            self._dirty = True
+            self._write_index_locked()
+
+    def _sweep_tmp_files(self) -> List[str]:
+        notes = []
+        for directory in (self.root, self.objects):
+            for tmp in directory.glob(".*.tmp"):
+                try:
+                    tmp.unlink()
+                    notes.append(f"swept stale temp file {tmp.name}")
+                except OSError:  # pragma: no cover - raced cleanup
+                    pass
+        return notes
+
+    def _rebuild_entries_from_objects(self) -> List[Dict[str, Any]]:
+        """Re-derive index entries by scanning ``objects/``.
+
+        The object filename *is* the run-key digest, so rebuilt
+        entries remain addressable by :meth:`get`; the decomposed key
+        fields are unrecoverable and stored as ``None`` (display-only
+        anyway).  Unparseable objects are skipped — :meth:`repair`
+        deletes them.
+        """
+        entries: List[Dict[str, Any]] = []
+        for path in sorted(self.objects.glob("*.json")):
+            digest = path.stem
+            try:
+                data = path.read_text()
+                payload = json.loads(data)
+                summary = payload_summary(payload)
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:  # pragma: no cover - raced unlink
+                mtime = time.time()
+            entries.append({
+                "digest": digest,
+                "key": None,
+                "size": len(data),
+                "checksum": content_digest(data),
+                "summary": summary,
+                "circuit_name": payload.get("circuit_name"),
+                "delay_description": payload.get("delay_description"),
+                "created": mtime,
+                "last_used": mtime,
+            })
+        entries.sort(key=lambda e: e.get("last_used", 0.0))
+        return entries
 
     # -- index persistence ---------------------------------------------
     def _index_path(self) -> Path:
@@ -323,21 +497,35 @@ class ResultStore:
                 if not line:
                     continue
                 try:
-                    entries.append(json.loads(line))
+                    entry = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn trailing line from a dead writer
+                if isinstance(entry, dict) and "digest" in entry:
+                    entries.append(entry)
         entries.sort(key=lambda e: e.get("last_used", 0.0))
         return entries
 
     def _write_index(self) -> None:
+        """Persist the index under the advisory writer lock."""
+        with self._locked():
+            self._write_index_locked()
+
+    def _write_index_locked(self) -> None:
         """Persist the index, merging with concurrent writers' entries.
 
         Entries another process added since we loaded are folded in
         (our in-memory view wins per digest — it holds the freshest
         recency we know); digests this store removed stay removed.
+        The caller must hold :meth:`_locked`.
         """
         merged: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
-        for entry in self._read_disk_index():
+        try:
+            disk_entries = self._read_disk_index()
+        except (OSError, UnicodeDecodeError):
+            # The on-disk index is unreadable garbage; our in-memory
+            # view is the best surviving state — overwrite it.
+            disk_entries = []
+        for entry in disk_entries:
             digest = entry["digest"]
             if digest not in self._tombstones and digest not in self._index:
                 merged[digest] = entry
@@ -349,7 +537,19 @@ class ResultStore:
             json.dumps(entry, sort_keys=True) + "\n"
             for entry in self._index.values()
         )
-        _atomic_write(self._index_path(), lines)
+        try:
+            _atomic_write(self._index_path(), lines)
+        except OSError as exc:
+            # A failing disk must not abort the batch that computed
+            # the results: keep the in-memory state dirty so a later
+            # flush retries, and tell the user persistence is at risk.
+            warnings.warn(
+                f"index write for {self.root} failed ({exc}); "
+                "entries remain in memory only",
+                StoreWriteWarning,
+                stacklevel=2,
+            )
+            return
         self._tombstones.clear()
         self._dirty = False
 
@@ -383,24 +583,54 @@ class ResultStore:
         return self.objects / f"{digest}.json"
 
     # -- core API ------------------------------------------------------
+    def _read_object(self, entry: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Read + verify one entry's object; ``None`` when corrupt.
+
+        Detection layers: the file must be readable, its content must
+        match the checksum recorded at write time (catches torn writes
+        *and* silent bit flips — a flipped digit is still valid JSON),
+        and it must parse.  Legacy entries without a checksum fall
+        back to parse-only validation.
+        """
+        try:
+            data = self._object_path(entry["digest"]).read_text()
+        except OSError:
+            return None
+        checksum = entry.get("checksum")
+        if checksum is not None and content_digest(data) != checksum:
+            return None
+        try:
+            return json.loads(data)
+        except json.JSONDecodeError:
+            return None
+
+    def _drop_entry(self, digest: str, unlink: bool = False) -> None:
+        """Forget an entry (self-heal path); optionally remove its object."""
+        self._index.pop(digest, None)
+        self._tombstones.add(digest)
+        self._dirty = True
+        if unlink:
+            try:
+                os.unlink(self._object_path(digest))
+            except OSError:
+                pass
+
     def get(self, key: RunKey) -> Optional[Dict[str, Any]]:
         """The stored payload for *key*, or ``None`` on a miss.
 
         A hit refreshes the entry's LRU recency (persisted at the next
-        mutation).  Entries whose object file is missing or corrupt
-        are treated as misses and dropped.
+        mutation).  Entries whose object file is missing, torn,
+        bit-flipped (checksum mismatch) or unparseable are treated as
+        misses and dropped — the store self-heals on first touch.
         """
         digest = key.digest()
         entry = self._index.get(digest)
         if entry is None:
             self.misses += 1
             return None
-        try:
-            with open(self._object_path(digest)) as fh:
-                payload = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            del self._index[digest]
-            self._tombstones.add(digest)
+        payload = self._read_object(entry)
+        if payload is None:
+            self._drop_entry(digest, unlink=True)
             self.misses += 1
             return None
         entry["last_used"] = time.time()
@@ -409,20 +639,42 @@ class ResultStore:
         self.hits += 1
         return payload
 
-    def put(self, key: RunKey, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def put(self, key: RunKey, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         """Store *payload* under *key*; returns the index entry.
 
         Overwrites any prior entry for the same key (idempotent), then
-        evicts LRU entries until the size bound holds again.
+        evicts LRU entries until the size bound holds again.  A failed
+        object write (``OSError``: disk full, permissions, injected
+        fault) is *not* fatal — the caller keeps its computed result;
+        a :class:`StoreWriteWarning` is emitted and ``None`` returned.
         """
+        from repro.service import faults
+
         digest = key.digest()
         data = json.dumps(payload, sort_keys=True)
-        _atomic_write(self._object_path(digest), data)
+        checksum = content_digest(data)
+        try:
+            # corrupt_payload models storage corrupting the bytes
+            # *after* the checksum was recorded — exactly the torn
+            # write / bit flip the read-side verification must catch.
+            _atomic_write(
+                self._object_path(digest),
+                faults.corrupt_payload(data, key=digest),
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"store write for {digest[:12]} failed ({exc}); "
+                "result not cached",
+                StoreWriteWarning,
+                stacklevel=2,
+            )
+            return None
         now = time.time()
         entry = {
             "digest": digest,
             "key": asdict(key),
             "size": len(data),
+            "checksum": checksum,
             "summary": payload_summary(payload),
             "circuit_name": payload.get("circuit_name"),
             "delay_description": payload.get("delay_description"),
@@ -496,8 +748,25 @@ class ResultStore:
         self._write_index()
         return n
 
+    def _sweep_missing_objects(self) -> int:
+        """Drop entries whose object file vanished (raced eviction)."""
+        missing = [
+            digest for digest in self._index
+            if not self._object_path(digest).exists()
+        ]
+        for digest in missing:
+            self._drop_entry(digest)
+        return len(missing)
+
     def stats(self) -> Dict[str, Any]:
-        """Aggregate store statistics plus this session's hit counters."""
+        """Aggregate store statistics plus this session's hit counters.
+
+        Self-heals first: entries whose object file has vanished (an
+        eviction race in another process, manual deletion) are dropped
+        so the reported entry/byte counts describe servable state —
+        the same healing :meth:`get` performs on first touch.
+        """
+        self._sweep_missing_objects()
         return {
             "root": str(self.root),
             "entries": len(self._index),
@@ -505,4 +774,146 @@ class ResultStore:
             "max_bytes": self.max_bytes,
             "session_hits": self.hits,
             "session_misses": self.misses,
+        }
+
+    # -- verification / repair ------------------------------------------
+    def verify(self) -> Dict[str, Any]:
+        """Deep-scan the store; report every problem, change nothing.
+
+        Checks each index entry's object file (existence, recorded
+        checksum, JSON parseability, size agreement) and reports
+        orphan objects (object file without an index entry — a writer
+        died between the object write and the index write) and stale
+        temp files.  Returns ``{"entries", "ok", "problems": [...]}``
+        where each problem is ``{"digest", "kind", "detail"}`` with
+        ``kind`` in ``missing-object`` / ``checksum-mismatch`` /
+        ``unparseable`` / ``size-mismatch`` / ``orphan-object`` /
+        ``stale-tmp``.
+        """
+        problems: List[Dict[str, str]] = []
+        for digest, entry in self._index.items():
+            path = self._object_path(digest)
+            try:
+                data = path.read_text()
+            except OSError as exc:
+                problems.append({
+                    "digest": digest, "kind": "missing-object",
+                    "detail": str(exc),
+                })
+                continue
+            checksum = entry.get("checksum")
+            if checksum is not None and content_digest(data) != checksum:
+                problems.append({
+                    "digest": digest, "kind": "checksum-mismatch",
+                    "detail": (
+                        f"stored {len(data)} bytes do not match the "
+                        "checksum recorded at write time"
+                    ),
+                })
+                continue
+            try:
+                json.loads(data)
+            except json.JSONDecodeError as exc:
+                problems.append({
+                    "digest": digest, "kind": "unparseable",
+                    "detail": str(exc),
+                })
+                continue
+            if checksum is None and len(data) != entry.get("size"):
+                # Legacy entry (no checksum): the size is the only
+                # corruption signal available.
+                problems.append({
+                    "digest": digest, "kind": "size-mismatch",
+                    "detail": (
+                        f"{len(data)} bytes on disk, index says "
+                        f"{entry.get('size')}"
+                    ),
+                })
+        indexed = set(self._index)
+        for path in sorted(self.objects.glob("*.json")):
+            if path.stem not in indexed:
+                problems.append({
+                    "digest": path.stem, "kind": "orphan-object",
+                    "detail": "object file has no index entry",
+                })
+        for directory in (self.root, self.objects):
+            for tmp in directory.glob(".*.tmp"):
+                problems.append({
+                    "digest": tmp.name, "kind": "stale-tmp",
+                    "detail": "leftover temp file from a dead writer",
+                })
+        return {
+            "entries": len(self._index),
+            "ok": len(self._index) - sum(
+                1 for p in problems
+                if p["kind"] not in ("orphan-object", "stale-tmp")
+            ),
+            "problems": problems,
+        }
+
+    def repair(self) -> Dict[str, int]:
+        """Fix everything :meth:`verify` reports; keep valid entries.
+
+        Corrupt entries (missing/torn/bit-flipped/unparseable objects)
+        are dropped — their next request recomputes and re-caches.
+        Parseable orphan objects are *adopted* back into the index
+        (their filename is the addressing digest, so they become
+        servable again); unparseable orphans and stale temp files are
+        deleted.  Uncorrupted entries are untouched and remain
+        servable.  Returns action counts.
+        """
+        with self._locked():
+            dropped = adopted = deleted = swept = 0
+            for problem in self.verify()["problems"]:
+                kind = problem["kind"]
+                digest = problem["digest"]
+                if kind in (
+                    "missing-object", "checksum-mismatch",
+                    "unparseable", "size-mismatch",
+                ):
+                    self._drop_entry(digest, unlink=True)
+                    dropped += 1
+                elif kind == "orphan-object":
+                    path = self._object_path(digest)
+                    try:
+                        data = path.read_text()
+                        payload = json.loads(data)
+                        summary = payload_summary(payload)
+                    except (
+                        OSError, json.JSONDecodeError, KeyError, TypeError,
+                    ):
+                        try:
+                            path.unlink()
+                            deleted += 1
+                        except OSError:
+                            pass
+                        continue
+                    try:
+                        mtime = path.stat().st_mtime
+                    except OSError:  # pragma: no cover - raced unlink
+                        mtime = time.time()
+                    self._index[digest] = {
+                        "digest": digest,
+                        "key": None,
+                        "size": len(data),
+                        "checksum": content_digest(data),
+                        "summary": summary,
+                        "circuit_name": payload.get("circuit_name"),
+                        "delay_description": payload.get(
+                            "delay_description"
+                        ),
+                        "created": mtime,
+                        "last_used": mtime,
+                    }
+                    self._tombstones.discard(digest)
+                    self._dirty = True
+                    adopted += 1
+            swept += len(self._sweep_tmp_files())
+            self._dirty = True
+            self._write_index_locked()
+        return {
+            "dropped": dropped,
+            "adopted": adopted,
+            "deleted": deleted,
+            "swept_tmp": swept,
         }

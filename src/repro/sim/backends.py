@@ -366,6 +366,29 @@ class BackendUnavailableError(ValueError):
     """
 
 
+class BackendDegradedWarning(RuntimeWarning):
+    """A run fell back from one backend tier to a slower one mid-run.
+
+    Emitted by the session API's failover policy when the selected
+    engine dies with ``MemoryError`` / an import failure /
+    :class:`BackendUnavailableError` and the run is re-dispatched on
+    the next tier of the fallback chain.  The result is still
+    bit-identical (all tiers in a chain share a result class); only
+    throughput degrades.  Structured so monitoring can aggregate:
+    :attr:`from_backend`, :attr:`to_backend`, :attr:`reason`.
+    """
+
+    def __init__(self, from_backend: str, to_backend: str, reason: str):
+        self.from_backend = from_backend
+        self.to_backend = to_backend
+        self.reason = reason
+        super().__init__(
+            f"backend {from_backend!r} failed ({reason}); "
+            f"degrading to {to_backend!r} (results stay bit-identical, "
+            "throughput does not)"
+        )
+
+
 from repro.sim.waveform import WaveformBackend  # noqa: E402  (needs RunStats at run time)
 from repro.sim.codegen_backend import CodegenBackend  # noqa: E402
 from repro.sim.vector import (  # noqa: E402
@@ -402,6 +425,35 @@ _ALIASES = {
 
 #: Pseudo-backend name resolved per run by :func:`select_backend`.
 AUTO_BACKEND = "auto"
+
+#: Runtime degradation order for glitch-exact sessions: every tier is
+#: bit-identical to the event-driven reference, each successive tier
+#: trades throughput for fewer runtime dependencies / less memory
+#: (the event engine streams one cycle at a time and allocates almost
+#: nothing).
+FALLBACK_CHAIN = ("vector", "codegen", "waveform", "event")
+#: Degradation order for settled (zero-delay) sessions.
+ZERO_DELAY_FALLBACK_CHAIN = ("vector", "codegen", "bitparallel")
+
+
+def fallback_candidates(
+    current: str, zero_delay: bool = False
+) -> List[str]:
+    """Backends to try, in order, after *current* fails at runtime.
+
+    Only tiers *behind* the failing one in the chain are candidates
+    (they need strictly less memory / fewer dependencies), and only
+    those available in this environment.  An empty list means the
+    failure is terminal.
+    """
+    chain = ZERO_DELAY_FALLBACK_CHAIN if zero_delay else FALLBACK_CHAIN
+    if current not in chain:
+        return []
+    return [
+        name
+        for name in chain[chain.index(current) + 1:]
+        if backend_unavailable_reason(name) is None
+    ]
 
 
 def backend_unavailable_reason(name: str) -> str | None:

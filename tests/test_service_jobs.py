@@ -182,12 +182,20 @@ class TestWarmCacheAcceptance:
         assert report.n_hits == 2 and report.n_computed == 0
 
     def test_cold_run_would_have_simulated(self, tmp_path, monkeypatch):
-        """The guard itself works: a cold run trips it."""
+        """The guard itself works: a cold run trips it.
+
+        Under the supervised pool a tripped guard surfaces as a
+        quarantined point (the batch no longer aborts on a task
+        exception), so the assertion reads the failure record."""
+        from repro.service.pool import RetryPolicy
+
         _forbid_simulation(monkeypatch)
-        with pytest.raises(_SimulationForbidden):
-            BatchScheduler(ResultStore(tmp_path)).run(
-                JobSpec(circuit="rca4", n_vectors=10)
-            )
+        report = BatchScheduler(
+            ResultStore(tmp_path),
+            policy=RetryPolicy(max_attempts=1, backoff_base_s=0.0),
+        ).run(JobSpec(circuit="rca4", n_vectors=10))
+        assert report.n_failed == 1
+        assert "simulation attempted" in report.failures[0].error
 
 
 class TestWorkerIsolation:
@@ -225,3 +233,145 @@ class TestSweepValidation:
         ids = {r.job_id for r in (r2, r3)}
         assert len(ids) == 2
         assert len(load_job_records(store)) == 2
+
+
+class TestFaultToleranceSemantics:
+    """Quarantine and interrupt salvage at the scheduler layer."""
+
+    def test_quarantined_point_fails_batch_survives(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.jobs as jobs_mod
+        from repro.service.pool import RetryPolicy
+
+        real = jobs_mod._compute_point
+
+        def poisoned(doc):
+            if doc["stimulus"]["seed"] == 2:
+                raise RuntimeError("this point is cursed")
+            return real(doc)
+
+        monkeypatch.setattr(jobs_mod, "_compute_point", poisoned)
+        store = ResultStore(tmp_path)
+        spec = JobSpec(
+            circuit="rca4", n_vectors=20, sweep={"seed": [1, 2, 3]}
+        )
+        report = BatchScheduler(
+            store, policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        ).run(spec)
+        assert report.n_computed == 2 and report.n_failed == 1
+        failed = [o for o in report.outcomes if o.status == "failed"]
+        assert len(failed) == 1
+        assert failed[0].point.stimulus.seed == 2
+        # Failed rows render with the standard headline keys, zeroed.
+        assert failed[0].summary == {
+            "total": 0, "useful": 0, "useless": 0, "L/F": 0.0,
+        }
+        # The quarantine record is structured and persisted.
+        assert len(report.failures) == 1
+        assert report.failures[0].attempts == 2
+        assert "cursed" in report.failures[0].error
+        record = load_job_records(store)[-1]
+        assert record["failed"] == 1
+        assert record["failures"][0]["kind"] == "error"
+        # Healthy points were cached despite the failure.
+        assert len(store) == 2
+
+    def test_interrupt_persists_completed_points(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.jobs as jobs_mod
+
+        real = jobs_mod._compute_point
+        computed = []
+
+        def interrupting(doc):
+            if doc["stimulus"]["seed"] == 3:
+                raise KeyboardInterrupt
+            payload = real(doc)
+            computed.append(doc["stimulus"]["seed"])
+            return payload
+
+        monkeypatch.setattr(jobs_mod, "_compute_point", interrupting)
+        store = ResultStore(tmp_path)
+        spec = JobSpec(
+            circuit="rca4", n_vectors=20, sweep={"seed": [1, 2, 3, 4]}
+        )
+        with pytest.raises(KeyboardInterrupt):
+            BatchScheduler(store).run(spec)
+        # Everything finished before the interrupt was salvaged...
+        assert computed == [1, 2]
+        assert len(store) == 2
+        # ...and the partial job record marks the interruption.
+        record = load_job_records(store)[-1]
+        assert record["interrupted"] is True
+        assert record["computed"] == 2
+        # A clean re-run resumes: two hits, two to compute.
+        monkeypatch.setattr(jobs_mod, "_compute_point", real)
+        resumed = BatchScheduler(store).run(spec)
+        assert resumed.n_hits == 2 and resumed.n_computed == 2
+
+    def test_circuit_tasks_interrupt_salvages(self, tmp_path, monkeypatch):
+        import repro.service.jobs as jobs_mod
+        from repro.circuits.catalog import build_named_circuit
+        from repro.service.jobs import CircuitTask, run_circuit_tasks
+
+        circuit, _ = build_named_circuit("rca4")
+        tasks = [
+            CircuitTask.from_circuit(
+                circuit, "unit", UniformStimulus(seed=s), 20,
+                label=f"t{s}",
+            )
+            for s in (1, 2, 3)
+        ]
+        real = jobs_mod._simulate_circuit_task
+
+        def interrupting(task):
+            if task.label == "t3":
+                raise KeyboardInterrupt
+            return real(task)
+
+        monkeypatch.setattr(
+            jobs_mod, "_simulate_circuit_task", interrupting
+        )
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            run_circuit_tasks(tasks, store=store)
+        assert len(store) == 2  # completed tasks persisted
+        # Resume: the two finished tasks hit, only t3 simulates.
+        monkeypatch.setattr(jobs_mod, "_simulate_circuit_task", real)
+        payloads = run_circuit_tasks(tasks, store=store)
+        assert store.hits == 2
+        assert all(p is not None for p in payloads)
+
+    def test_circuit_tasks_quarantine_raises_after_persisting(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.jobs as jobs_mod
+        from repro.circuits.catalog import build_named_circuit
+        from repro.service.jobs import CircuitTask, run_circuit_tasks
+        from repro.service.pool import RetryPolicy
+
+        circuit, _ = build_named_circuit("rca4")
+        tasks = [
+            CircuitTask.from_circuit(
+                circuit, "unit", UniformStimulus(seed=s), 20,
+                label=f"t{s}",
+            )
+            for s in (1, 2)
+        ]
+        real = jobs_mod._simulate_circuit_task
+
+        def broken(task):
+            if task.label == "t2":
+                raise ValueError("no such luck")
+            return real(task)
+
+        monkeypatch.setattr(jobs_mod, "_simulate_circuit_task", broken)
+        store = ResultStore(tmp_path)
+        with pytest.raises(RuntimeError, match="quarantined"):
+            run_circuit_tasks(
+                tasks, store=store,
+                policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            )
+        assert len(store) == 1  # the healthy task's result persisted

@@ -354,3 +354,208 @@ class TestFlushAndDeferred:
                 store.put(_key(n), _payload(n))
         assert len(writes) == 1
         assert len(ResultStore(tmp_path)) == 5
+
+
+class TestOpenRecovery:
+    """The open-time recovery scan: every crash artifact is healed."""
+
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(), _payload())
+        (tmp_path / ".index.jsonl.abc123.tmp").write_text("partial")
+        (store.objects / ".deadbeef.json.xyz.tmp").write_text("partial")
+        fresh = ResultStore(tmp_path)
+        assert not list(tmp_path.glob(".*.tmp"))
+        assert not list(fresh.objects.glob(".*.tmp"))
+        assert any("swept" in n for n in fresh.recovery_notes)
+        assert fresh.get(_key()) == _payload()  # data untouched
+
+    def test_missing_object_dropped_on_open(self, tmp_path):
+        store = ResultStore(tmp_path)
+        e0 = store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        (store.objects / f"{e0['digest']}.json").unlink()
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 1
+        assert fresh.get(_key(0)) is None
+        assert fresh.get(_key(1)) == _payload(1)
+        assert any("missing" in n for n in fresh.recovery_notes)
+
+    def test_unreadable_index_rebuilt_from_objects(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        # Clobber the index with undecodable binary garbage.
+        (tmp_path / ResultStore.INDEX).write_bytes(
+            b"\xff\xfe\x00garbage\x80\x81"
+        )
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 2
+        # The object filename is the addressing digest, so rebuilt
+        # entries (with no decomposed key) still serve hits.
+        assert fresh.get(_key(0)) == _payload(0)
+        assert fresh.get(_key(1)) == _payload(1)
+        assert any("rebuilt" in n for n in fresh.recovery_notes)
+        for entry in fresh.entries():
+            assert entry["key"] is None
+            assert entry["checksum"] is not None
+
+    def test_rebuilt_index_is_persisted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(), _payload())
+        (tmp_path / ResultStore.INDEX).write_bytes(b"\xff\x80junk")
+        ResultStore(tmp_path)  # rebuilds and persists
+        # The next open reads a clean index: no recovery needed.
+        third = ResultStore(tmp_path)
+        assert not third.recovery_notes
+        assert third.get(_key()) == _payload()
+
+
+class TestSelfHeal:
+    """Index entry present, object damaged: healed on touch."""
+
+    def test_get_heals_missing_object(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entry = store.put(_key(), _payload())
+        (store.objects / f"{entry['digest']}.json").unlink()
+        assert store.get(_key()) is None  # miss, not an exception
+        assert len(store) == 0  # entry dropped
+        store.put(_key(), _payload())  # and re-cacheable
+        assert store.get(_key()) == _payload()
+
+    def test_stats_heals_missing_object(self, tmp_path):
+        """The regression pair for get-side healing: `status` surfaces
+        (stats) must also drop vanished objects, not report them."""
+        store = ResultStore(tmp_path)
+        e0 = store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        (store.objects / f"{e0['digest']}.json").unlink()
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] == len(json.dumps(_payload(1)))
+
+    def test_get_heals_bitflipped_payload(self, tmp_path):
+        """A single flipped digit keeps the JSON valid — only the
+        recorded checksum can catch it."""
+        store = ResultStore(tmp_path)
+        entry = store.put(_key(), _payload())
+        path = store.objects / f"{entry['digest']}.json"
+        data = path.read_text()
+        pos = data.index('"cycles": 100') + len('"cycles": 1')
+        flipped = data[:pos] + "9" + data[pos + 1:]
+        assert json.loads(flipped)  # still parses — that's the point
+        path.write_text(flipped)
+        assert store.get(_key()) is None
+        assert len(store) == 0
+
+    def test_get_heals_truncated_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entry = store.put(_key(), _payload())
+        path = store.objects / f"{entry['digest']}.json"
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])
+        assert store.get(_key()) is None
+        assert len(store) == 0
+
+
+class TestVerifyRepair:
+    def test_verify_clean_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(0), _payload(0))
+        store.put(_key(1), _payload(1))
+        report = store.verify()
+        assert report["entries"] == 2 and report["ok"] == 2
+        assert report["problems"] == []
+
+    def test_verify_reports_each_corruption_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entries = [store.put(_key(n), _payload(n)) for n in range(4)]
+        # 0: truncated (torn write), 1: bit-flipped, 2: missing,
+        # 3: left valid.
+        p0 = store.objects / f"{entries[0]['digest']}.json"
+        p0.write_text(p0.read_text()[:30])
+        p1 = store.objects / f"{entries[1]['digest']}.json"
+        d1 = p1.read_text()
+        pos = d1.index("100")
+        p1.write_text(d1[:pos] + "900"[0] + d1[pos + 1:])
+        (store.objects / f"{entries[2]['digest']}.json").unlink()
+        # Plus an orphan object and a stale tmp file.
+        (store.objects / "feedfacecafe.json").write_text(
+            json.dumps(_payload(9))
+        )
+        (tmp_path / ".index.jsonl.zzz.tmp").write_text("junk")
+
+        report = store.verify()
+        kinds = {p["digest"]: p["kind"] for p in report["problems"]}
+        assert kinds[entries[0]["digest"]] == "checksum-mismatch"
+        assert kinds[entries[1]["digest"]] == "checksum-mismatch"
+        assert kinds[entries[2]["digest"]] == "missing-object"
+        assert kinds["feedfacecafe"] == "orphan-object"
+        assert any(k == "stale-tmp" for k in kinds.values())
+        assert report["ok"] == 1  # only entry 3 is servable
+
+    def test_repair_fixes_everything_keeps_valid(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entries = [store.put(_key(n), _payload(n)) for n in range(3)]
+        p0 = store.objects / f"{entries[0]['digest']}.json"
+        p0.write_text(p0.read_text()[:25])  # torn
+        orphan_payload = _payload(7)
+        (store.objects / "0a1b2c3d4e5f.json").write_text(
+            json.dumps(orphan_payload)
+        )
+        (store.objects / "badbadbadbad.json").write_text("{nope")
+        (tmp_path / ".x.tmp").write_text("junk")
+
+        fixed = store.repair()
+        assert fixed["dropped"] == 1
+        assert fixed["adopted"] == 1
+        assert fixed["deleted"] == 1
+        assert fixed["swept_tmp"] == 1
+        assert store.verify()["problems"] == []
+        # Valid entries survived and still serve.
+        assert store.get(_key(1)) == _payload(1)
+        assert store.get(_key(2)) == _payload(2)
+        # The adopted orphan is addressable by its digest.
+        adopted = [e for e in store.entries() if e["key"] is None]
+        assert len(adopted) == 1
+        assert adopted[0]["digest"] == "0a1b2c3d4e5f"
+        # And the repair is persisted: a fresh open agrees.
+        fresh = ResultStore(tmp_path)
+        assert len(fresh) == 3
+        assert fresh.verify()["problems"] == []
+
+    def test_repair_on_clean_store_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_key(), _payload())
+        fixed = store.repair()
+        assert fixed == {
+            "dropped": 0, "adopted": 0, "deleted": 0, "swept_tmp": 0,
+        }
+        assert store.get(_key()) == _payload()
+
+
+class TestWriteFailureDegradation:
+    def test_put_warns_and_returns_none_on_oserror(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.service.store as store_mod
+        from repro.service.store import StoreWriteWarning
+
+        store = ResultStore(tmp_path)
+
+        def failing_write(path, data, durable=True):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(store_mod, "_atomic_write", failing_write)
+        with pytest.warns(StoreWriteWarning):
+            assert store.put(_key(), _payload()) is None
+        assert len(store) == 0
+
+    def test_entry_records_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        entry = store.put(_key(), _payload())
+        assert entry["checksum"]
+        from repro.netlist.compiled import content_digest
+
+        data = (store.objects / f"{entry['digest']}.json").read_text()
+        assert content_digest(data) == entry["checksum"]
