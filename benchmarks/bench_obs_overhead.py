@@ -1,0 +1,87 @@
+"""Infrastructure benchmark — tracing overhead on the event backend.
+
+Not a paper artefact: measures the 16x16 array-multiplier workload
+(the same one ``bench_sim_throughput.py`` tracks as ``event/16x16``)
+with the observability recorder **enabled**, so the committed
+trajectory carries a ``trace-overhead/16x16`` row whose
+``speedup_vs_event`` ratio shows what ``--trace`` costs.  The
+instrumentation charges hot loops once per batch, so the ratio should
+sit at ~1.0; a drop means someone moved a hook into an inner loop.
+
+The row also records ``disabled_overhead_frac``: the measured number
+of hook invocations per run times the microbenched per-call cost of a
+disabled hook, as a fraction of the untraced run time.  That is the
+price every *untraced* run pays for having the instrumentation
+compiled in — the ISSUE budgets it under 2%.
+"""
+
+import random
+import time
+
+
+from repro.circuits.multipliers import build_multiplier_circuit
+from repro.core.activity import ActivityRun
+from repro.obs import trace
+from repro.sim.vectors import WordStimulus
+
+N_BITS = 16
+N_CYCLES = 20
+
+
+def _workload():
+    circuit, ports = build_multiplier_circuit(N_BITS, "array")
+    stim = WordStimulus({"x": ports["x"], "y": ports["y"]})
+    rng = random.Random(42)
+    vectors = [dict(v) for v in stim.random(rng, N_CYCLES + 1)]
+    return circuit, vectors
+
+
+def _disabled_profile(run, vectors):
+    """(hook calls per run, per-call cost, untraced run time)."""
+    trace.disable()
+    t0 = time.perf_counter()
+    run.run(iter(vectors))
+    t_run = time.perf_counter() - t0
+
+    calls = {"n": 0}
+    real_active = trace.active
+
+    def counting_active():
+        calls["n"] += 1
+        return real_active()
+
+    trace.active = counting_active
+    try:
+        run.run(iter(vectors))
+    finally:
+        trace.active = real_active
+
+    reps = 50_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        trace.span("x")
+    per_call = (time.perf_counter() - t0) / reps
+    return calls["n"], per_call, t_run
+
+
+def test_trace_overhead_event16(benchmark):
+    circuit, vectors = _workload()
+    run = ActivityRun(circuit, backend="event")
+    run.run(iter(vectors))  # warm the compile memo
+
+    def simulate_traced():
+        with trace.capture():
+            return run.run(iter(vectors)).total_transitions
+
+    total = benchmark.pedantic(simulate_traced, rounds=3, iterations=1)
+    assert total > 0
+
+    n_calls, per_call, t_run = _disabled_profile(run, vectors)
+    frac = (n_calls * per_call) / t_run
+    benchmark.extra_info["hook_calls_per_run"] = n_calls
+    benchmark.extra_info["disabled_ns_per_call"] = round(per_call * 1e9, 1)
+    benchmark.extra_info["disabled_overhead_frac"] = round(frac, 6)
+    assert frac < 0.02, (
+        f"{n_calls} hook calls x {per_call * 1e9:.0f}ns is "
+        f"{frac:.2%} of the {t_run * 1e3:.1f}ms untraced run"
+    )

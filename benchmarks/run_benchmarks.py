@@ -40,6 +40,7 @@ BENCHES = [
     Path(__file__).resolve().parent / "bench_sim_throughput.py",
     Path(__file__).resolve().parent / "bench_estimate_throughput.py",
     Path(__file__).resolve().parent / "bench_explore.py",
+    Path(__file__).resolve().parent / "bench_obs_overhead.py",
 ]
 OUT = ROOT / "BENCH_sim.json"
 
@@ -103,6 +104,24 @@ def normalize(data: dict) -> dict:
                 "workload": "array16 multiplier, whole-netlist estimate",
                 "median_s": round(median, 6),
                 "passes_per_s": round(1.0 / median, 1),
+            }
+            continue
+        elif bench["name"].startswith("test_trace_overhead_event16"):
+            from bench_obs_overhead import N_BITS, N_CYCLES
+
+            extra = bench.get("extra_info", {})
+            key = f"trace-overhead/{N_BITS}x{N_BITS}"
+            results[key] = {
+                "backend": "trace-overhead",
+                "workload": (
+                    f"array{N_BITS} multiplier, {N_CYCLES} cycles, "
+                    "recorder enabled"
+                ),
+                "median_s": round(median, 6),
+                "cycles_per_s": round(N_CYCLES / median, 1),
+                "disabled_overhead_frac": extra.get(
+                    "disabled_overhead_frac"
+                ),
             }
             continue
         elif bench["name"].startswith("test_explore_throughput_rca8"):

@@ -9,6 +9,7 @@ inspection.
 Run:  python examples/direction_detector_report.py [n_vectors]
 """
 
+import os
 import random
 import sys
 
@@ -54,7 +55,9 @@ def main() -> None:
     sim.settle(vectors[0])
     traces = [sim.step(v) for v in vectors[1:]]
     vcd = dump_vcd(circuit, traces, cycle_length=128, nets=ports.min_diff)
-    out = "direction_detector_min.vcd"
+    # The dump is an output artifact; keep it next to the example that
+    # produces it rather than littering the repo root.
+    out = os.path.join(os.path.dirname(__file__), "direction_detector_min.vcd")
     with open(out, "w") as fh:
         fh.write(vcd)
     print(f"\nWrote {out} ({len(vcd.splitlines())} lines) — open in GTKWave")

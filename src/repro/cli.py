@@ -25,6 +25,8 @@ Exposes the library's analyses without writing Python::
     python -m repro.cli export --circuit detector --format dot
     python -m repro.cli import design.json --action analyze
     python -m repro.cli balance --circuit rca16 --vectors 300
+    python -m repro.cli analyze --circuit rca16 --trace t.json --metrics
+    python -m repro.cli trace t.json            # span tree from the file
     python -m repro.cli explore --circuit array8 --strategy beam \
         --cache .repro-cache       # estimate-guided Pareto search
     python -m repro.cli experiment frontier
@@ -292,8 +294,22 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.obs import trace as obs
+
     name = args.name
     store = _open_store(args.cache)
+    with obs.span(f"experiment.{name}", vectors=args.vectors):
+        _dispatch_experiment(name, args, store)
+    if store is not None:
+        store.flush()  # persist hit recency even in read-only runs
+        print(
+            f"[cache] {store.hits} hit(s), {store.misses} miss(es) "
+            f"at {store.root}"
+        )
+    return 0
+
+
+def _dispatch_experiment(name: str, args: argparse.Namespace, store) -> None:
     if name == "fig5":
         from repro.experiments.rca import figure5_experiment, format_figure5
 
@@ -370,13 +386,6 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "try fig5, table1, table2, sec42, table3, adders, ablation, "
             "frontier"
         )
-    if store is not None:
-        store.flush()  # persist hit recency even in read-only runs
-        print(
-            f"[cache] {store.hits} hit(s), {store.misses} miss(es) "
-            f"at {store.root}"
-        )
-    return 0
 
 
 def _parse_sweep(
@@ -739,6 +748,36 @@ def cmd_import(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render (or validate) a Chrome-trace file written by ``--trace``."""
+    import json
+
+    from repro.obs import trace as obs
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.path}: {exc}")
+    errors = obs.validate_chrome_trace(doc)
+    if args.validate:
+        if errors:
+            for err in errors[:20]:
+                print(err)
+            print(f"{args.path}: INVALID ({len(errors)} error(s))")
+            return 1
+        print(
+            f"{args.path}: valid "
+            f"({len(doc['traceEvents'])} trace event(s))"
+        )
+        return 0
+    if errors:
+        raise SystemExit(f"{args.path}: not a repro trace: {errors[0]}")
+    events = obs.events_from_chrome(doc)
+    print(obs.format_tree(events, min_ms=args.min_ms))
+    return 0
+
+
 def cmd_balance(args: argparse.Namespace) -> int:
     from repro.experiments.balance import (
         balancing_vs_retiming_experiment,
@@ -751,6 +790,23 @@ def cmd_balance(args: argparse.Namespace) -> int:
     )
     print(format_balance_comparison(data))
     return 0
+
+
+def _obs_options(p: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--metrics`` flags shared by the run commands."""
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "record hierarchical spans across every layer (workers "
+            "included) and write a Chrome-trace JSON file loadable in "
+            "chrome://tracing or ui.perfetto.dev; render it later with "
+            "'repro trace PATH'"
+        ),
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the run's counter snapshot (cache, pool, sim) on exit",
+    )
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -814,6 +870,7 @@ def make_parser() -> argparse.ArgumentParser:
             "workload and print the simulated-vs-estimated comparison"
         ),
     )
+    _obs_options(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
@@ -844,6 +901,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="DIR",
         help="serve repeated runs from the service result store at DIR",
     )
+    _obs_options(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -907,7 +965,22 @@ def make_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="show the hit/miss plan without simulating",
     )
+    _obs_options(p)
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "trace", help="render or validate a --trace Chrome-trace file"
+    )
+    p.add_argument("path", help="JSON file written by a --trace run")
+    p.add_argument(
+        "--validate", action="store_true",
+        help="check the file against the trace schema and exit",
+    )
+    p.add_argument(
+        "--min-ms", type=float, default=0.0, metavar="MS",
+        help="fold spans shorter than MS out of the tree",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("status", help="list batch jobs recorded in a store")
     p.add_argument("--cache", required=True, metavar="DIR")
@@ -995,6 +1068,7 @@ def make_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=None,
             help="worker processes for candidate simulations",
         )
+        _obs_options(p)
 
     p = sub.add_parser(
         "explore",
@@ -1020,8 +1094,53 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish_observed(args: argparse.Namespace, rec) -> None:
+    """Persist the observability artifacts of an instrumented run.
+
+    Called after the recorder is disarmed so the export itself is not
+    traced.  Writes the Chrome-trace file (``--trace``), prints the
+    counter table (``--metrics``) and — whenever the run had a result
+    store — drops a manifest next to the job records in
+    ``<cache>/manifests``.
+    """
+    import os
+
+    from repro.obs import trace as obs
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.write_chrome_trace(trace_path, rec.events)
+        print(f"[trace] {len(rec.events)} event(s) -> {trace_path}")
+    if getattr(args, "metrics", False):
+        table = rec.metrics.format_table()
+        if table:
+            print(table)
+        else:
+            print("[metrics] no counters recorded")
+    cache = getattr(args, "cache", None)
+    if cache is not None:
+        manifest = build_manifest(
+            rec,
+            command=args.command,
+            backend=getattr(args, "backend", None),
+            seed=getattr(args, "seed", None),
+        )
+        path = write_manifest(os.path.join(cache, "manifests"), manifest)
+        print(f"[manifest] {path}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        from repro.obs import trace as obs
+
+        rec = obs.enable()
+        try:
+            return args.func(args)
+        finally:
+            obs.disable()
+            _finish_observed(args, rec)
     return args.func(args)
 
 

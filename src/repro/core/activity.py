@@ -29,13 +29,13 @@ backend (:mod:`repro.sim.backends`) and offers:
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
+from repro.obs import trace as obs
 from repro.sim.backends import (
     AUTO_BACKEND,
     BACKENDS,
@@ -306,30 +306,38 @@ def _stats_with_failover(
         # The stream must be replayable for a mid-run re-dispatch.
         vectors = vectors if isinstance(vectors, list) else list(vectors)
     zero = isinstance(delay_model, ZeroDelay)
-    while True:
-        try:
-            faults.raise_if(
-                "backend.memoryerror", key=name, exc_type=MemoryError
-            )
-            backend = get_backend(name, circuit, delay_model, monitor)
-            return name, backend.run(
-                vectors,
-                warmup=warmup,
-                initial_values=initial_values,
-                initial_ff_state=initial_ff_state,
-            )
-        except (MemoryError, ImportError, BackendUnavailableError) as exc:
-            candidates = fallback_candidates(name, zero_delay=zero)
-            if not failover or not candidates:
-                raise
-            warnings.warn(
-                BackendDegradedWarning(
-                    name, candidates[0],
-                    f"{type(exc).__name__}: {exc}",
-                ),
-                stacklevel=2,
-            )
-            name = candidates[0]
+    with obs.span(
+        "sim.run", circuit=circuit.name, backend=backend_name
+    ) as sp:
+        while True:
+            try:
+                faults.raise_if(
+                    "backend.memoryerror", key=name, exc_type=MemoryError
+                )
+                backend = get_backend(name, circuit, delay_model, monitor)
+                sp.set(backend=name)
+                return name, backend.run(
+                    vectors,
+                    warmup=warmup,
+                    initial_values=initial_values,
+                    initial_ff_state=initial_ff_state,
+                )
+            except (
+                MemoryError, ImportError, BackendUnavailableError
+            ) as exc:
+                candidates = fallback_candidates(name, zero_delay=zero)
+                if not failover or not candidates:
+                    raise
+                obs.inc("backend.degraded")
+                obs.warn_event(
+                    BackendDegradedWarning(
+                        name, candidates[0],
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                    from_backend=name,
+                    to_backend=candidates[0],
+                )
+                name = candidates[0]
 
 
 def _run_shard(job) -> ActivityResult:

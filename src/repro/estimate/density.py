@@ -40,6 +40,7 @@ from repro.estimate.probability import (
 )
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.obs import trace as obs
 
 
 def _density_array(
@@ -92,6 +93,7 @@ def transition_densities(
     probs_in = _validated_input_values(
         circuit, input_probs, "probabilities", 0.0, 1.0
     )
-    cc = compile_circuit(circuit)
-    probs = _probability_array(cc, probs_in)
-    return _as_net_dict(cc, _density_array(cc, probs, dens_in))
+    with obs.span("estimate.density", circuit=circuit.name):
+        cc = compile_circuit(circuit)
+        probs = _probability_array(cc, probs_in)
+        return _as_net_dict(cc, _density_array(cc, probs, dens_in))

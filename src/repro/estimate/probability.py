@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.obs import trace as obs
 
 
 def _validated_input_values(
@@ -137,8 +138,9 @@ def signal_probabilities(
     probs = _validated_input_values(
         circuit, input_probs, "probabilities", 0.0, 1.0
     )
-    cc = compile_circuit(circuit)
-    return _as_net_dict(cc, _probability_array(cc, probs))
+    with obs.span("estimate.prob", circuit=circuit.name):
+        cc = compile_circuit(circuit)
+        return _as_net_dict(cc, _probability_array(cc, probs))
 
 
 def switching_activity(

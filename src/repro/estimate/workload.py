@@ -35,6 +35,7 @@ from repro.estimate.probability import (
 )
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import compile_circuit
+from repro.obs import trace as obs
 from repro.sim.vectors import (
     BurstMarkovStimulus,
     CorrelatedStimulus,
@@ -235,6 +236,11 @@ def estimate_workload(
     p, d = input_statistics(spec)
     prob_map = {n: p for n in circuit.inputs}
     dens_map = {n: d for n in circuit.inputs}
+    with obs.span("estimate.workload", circuit=circuit.name):
+        return _estimate_workload(circuit, spec, p, d, prob_map, dens_map)
+
+
+def _estimate_workload(circuit, spec, p, d, prob_map, dens_map):
     cc = compile_circuit(circuit)
     prob_array = _probability_array(cc, prob_map)
     probabilities = _as_net_dict(cc, prob_array)

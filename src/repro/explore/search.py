@@ -49,6 +49,7 @@ from repro.explore.specs import (
 )
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import content_digest, delay_fingerprint
+from repro.obs import trace as obs
 from repro.service.jobs import CircuitTask, resolve_delay, run_circuit_tasks
 from repro.service.store import EXPLORE, ResultStore, RunKey, decode_result
 from repro.sim.delays import DelayModel
@@ -232,7 +233,12 @@ def _make_candidate(
     stimulus: StimulusSpec,
     context: CostContext,
 ) -> Candidate:
-    est = estimated_cost(circuit, delay_model, stimulus, context, latency)
+    label = describe_chain(chain)
+    with obs.span("explore.candidate", label=label):
+        est = estimated_cost(
+            circuit, delay_model, stimulus, context, latency
+        )
+    obs.inc("explore.candidates")
     feasible = True
     if space.max_area_mm2 is not None and est.area_mm2 > space.max_area_mm2:
         feasible = False
@@ -240,7 +246,7 @@ def _make_candidate(
         feasible = False
     return Candidate(
         chain=chain,
-        label=describe_chain(chain),
+        label=label,
         fingerprint=circuit.fingerprint(),
         latency=latency,
         circuit=circuit,
@@ -357,20 +363,32 @@ def explore(
         if payload is not None:
             return ExploreResult.from_payload(payload)
 
-    candidates, n_enumerated = _expand_candidates(
-        circuit, space, delay_model, stimulus, context,
-        None if strategy == "exhaustive" else width,
-    )
+    with obs.span(
+        "explore.expand", circuit=circuit.name, strategy=strategy
+    ):
+        candidates, n_enumerated = _expand_candidates(
+            circuit, space, delay_model, stimulus, context,
+            None if strategy == "exhaustive" else width,
+        )
 
     feasible = [c for c in candidates if c.feasible]
     if strategy == "exhaustive":
         to_simulate = list(feasible)
     else:
         est_costs = [c.estimate for c in feasible]
-        to_simulate = [
-            c for c in feasible
-            if not dominated_with_margin(c.estimate, est_costs, power_margin)
-        ]
+        to_simulate = []
+        for c in feasible:
+            pruned = dominated_with_margin(
+                c.estimate, est_costs, power_margin
+            )
+            obs.instant(
+                "explore.prune", label=c.label,
+                decision="pruned" if pruned else "kept",
+            )
+            if pruned:
+                obs.inc("explore.pruned")
+            else:
+                to_simulate.append(c)
 
     tasks = [
         CircuitTask.from_circuit(
@@ -378,13 +396,16 @@ def explore(
         )
         for c in to_simulate
     ]
-    payloads = run_circuit_tasks(tasks, store=store, processes=processes)
-    for cand, payload in zip(to_simulate, payloads):
-        activity = decode_result(payload, cand.circuit)
-        cand.exact = simulated_cost(
-            cand.circuit, activity, delay_model, context, cand.latency
-        )
-        cand.activity = activity.summary()
+    with obs.span(
+        "explore.simulate", circuit=circuit.name, points=len(tasks)
+    ):
+        payloads = run_circuit_tasks(tasks, store=store, processes=processes)
+        for cand, payload in zip(to_simulate, payloads):
+            activity = decode_result(payload, cand.circuit)
+            cand.exact = simulated_cost(
+                cand.circuit, activity, delay_model, context, cand.latency
+            )
+            cand.activity = activity.summary()
 
     for cand in pareto_front(to_simulate, lambda c: c.exact):
         cand.on_front = True

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.netlist.cells import CellKind
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.netlist.compiled import CompiledCircuit
@@ -64,15 +65,16 @@ def _compile_blocks(
             return None
         return _noop
     funcs = []
-    for start in range(0, len(blocks), CHUNK_CELLS):
-        lines = [f"def _kernel({params}):"]
-        for block in blocks[start:start + CHUNK_CELLS]:
-            for stmt in block:
-                lines.append("    " + stmt)
-        src = "\n".join(lines) + "\n"
-        ns: Dict[str, object] = {}
-        exec(compile(src, f"<codegen {tag} #{start // CHUNK_CELLS}>", "exec"), ns)
-        funcs.append(ns["_kernel"])
+    with obs.span("codegen.exec", tag=tag, cells=len(blocks)):
+        for start in range(0, len(blocks), CHUNK_CELLS):
+            lines = [f"def _kernel({params}):"]
+            for block in blocks[start:start + CHUNK_CELLS]:
+                for stmt in block:
+                    lines.append("    " + stmt)
+            src = "\n".join(lines) + "\n"
+            ns: Dict[str, object] = {}
+            exec(compile(src, f"<codegen {tag} #{start // CHUNK_CELLS}>", "exec"), ns)
+            funcs.append(ns["_kernel"])
     if len(funcs) == 1:
         return funcs[0]
 
@@ -392,6 +394,11 @@ class CellGroup:
 
 def level_groups(cc: "CompiledCircuit") -> Tuple[CellGroup, ...]:
     """Bucket the topo order into vectorizable :class:`CellGroup`\\ s."""
+    with obs.span("codegen.levelize", circuit=cc.name, cells=len(cc.cell_kinds)):
+        return _level_groups(cc)
+
+
+def _level_groups(cc: "CompiledCircuit") -> Tuple[CellGroup, ...]:
     cell_level = levelize_cells(cc)
     buckets: Dict[tuple, List[int]] = {}
     for ci in cc.topo:

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Seque
 from weakref import WeakKeyDictionary
 
 from repro.netlist.cells import CellKind, _EVALUATORS
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.netlist.circuit import Circuit
@@ -869,7 +870,12 @@ def compile_circuit(
         return cached
     if per_circuit and next(iter(per_circuit.values())).version != circuit.version:
         per_circuit.clear()  # the whole snapshot generation is stale
-    compiled = _build(circuit, delay_model)
+    with obs.span(
+        "compile",
+        circuit=getattr(circuit, "name", "?"),
+        delay=key is not None,
+    ):
+        compiled = _build(circuit, delay_model)
     per_circuit[key] = compiled
     per_circuit.move_to_end(key)
     while len(per_circuit) > MEMO_DELAY_MODELS:

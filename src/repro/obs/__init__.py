@@ -1,0 +1,65 @@
+"""repro.obs — observability: spans, metrics, and run manifests.
+
+Instrumentation hooks (:func:`span`, :func:`instant`, :func:`inc`,
+:func:`warn_event`) are safe to call unconditionally from every layer:
+while tracing is disabled they cost one global load and return the
+shared null span.  Arm tracing with :func:`enable` (or the CLI's
+``--trace`` / ``--metrics`` flags, or ``REPRO_TRACE=1`` in the
+environment — workers adopt it automatically, mirroring
+``REPRO_FAULTS``), then export the buffer as Chrome-trace JSON
+(:func:`write_chrome_trace`), a human tree (:func:`format_tree`), or a
+per-run manifest (:func:`build_manifest`).
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    ENV_VAR,
+    NULL_SPAN,
+    Recorder,
+    TRACE_SCHEMA,
+    active,
+    capture,
+    chrome_trace,
+    disable,
+    enable,
+    enabled,
+    format_tree,
+    inc,
+    instant,
+    span,
+    validate_chrome_trace,
+    warn_event,
+    write_chrome_trace,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    environment,
+    phase_times,
+    span_coverage,
+    write_manifest,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Recorder",
+    "TRACE_SCHEMA",
+    "active",
+    "build_manifest",
+    "capture",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "enabled",
+    "environment",
+    "format_tree",
+    "inc",
+    "instant",
+    "phase_times",
+    "span",
+    "span_coverage",
+    "validate_chrome_trace",
+    "warn_event",
+    "write_chrome_trace",
+]

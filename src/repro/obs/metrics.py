@@ -1,0 +1,67 @@
+"""Counters and gauges for a traced run.
+
+A :class:`MetricsRegistry` is a pair of flat string-keyed maps: integer
+**counters** (monotonic within a run — store hits, pool retries, cells
+evaluated) and float **gauges** (last-write-wins — queue depth, cache
+bytes).  Each :class:`repro.obs.trace.Recorder` owns one; worker
+processes accumulate into their local registry and the parent merges
+the deltas when results return, so totals are exact across the pool.
+
+Naming follows ``layer.event`` dotted lowercase: ``store.hit``,
+``pool.retry``, ``sim.cell_evals``, ``backend.degraded``.  See the
+README span-taxonomy table for the full catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Process-local counters and gauges with snapshot/merge support."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if never bumped)."""
+        return self.counters.get(name, 0)
+
+    def merge(
+        self,
+        counters: Optional[Dict[str, int]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Fold a worker snapshot in: counters add, gauges overwrite."""
+        if counters:
+            for name, n in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + n
+        if gauges:
+            self.gauges.update(gauges)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Sorted, JSON-ready copy of the current state."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def format_table(self) -> str:
+        """Two-column text rendering for ``--metrics`` CLI output."""
+        rows = [(k, str(v)) for k, v in sorted(self.counters.items())]
+        rows += [(k, f"{v:g}") for k, v in sorted(self.gauges.items())]
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

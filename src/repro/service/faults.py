@@ -285,6 +285,13 @@ def fired(point: str, key: str, attempt: int = 0) -> bool:
     if spec.max_fires is not None and count >= spec.max_fires:
         return False
     _FIRES[point] = count + 1
+    # Every firing is an observable event: chaos tests assert the trace
+    # records exactly the injected faults.  Lazy import keeps faults
+    # importable without the obs package (and free of cycles).
+    from repro.obs import trace as obs
+
+    obs.instant("fault.fired", point=point, key=key, attempt=attempt)
+    obs.inc(f"fault.{point}")
     return True
 
 

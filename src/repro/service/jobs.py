@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuits.catalog import build_named_circuit, validate_name
+from repro.obs import trace as obs
 from repro.service.pool import RetryPolicy, TaskFailure, run_supervised
 from repro.service.runner import estimate_key, run_key
 from repro.service.store import (
@@ -439,6 +440,9 @@ def run_circuit_tasks(
             payload = store.get(key)
             if payload is not None:
                 payloads[i] = payload
+                obs.instant(
+                    "jobs.task", label=task.label, outcome="hit"
+                )
                 continue
         misses.append((i, key))
 
@@ -589,12 +593,28 @@ class BatchScheduler:
         """
         start = time.monotonic()
         points = spec.points()
-        hits, misses = self._plan(points)
+        with obs.span(
+            "jobs.batch",
+            circuit=getattr(spec, "circuit", "?"),
+            points=len(points),
+        ):
+            return self._run_planned(spec, job_id, start, points)
+
+    def _run_planned(
+        self,
+        spec: JobSpec,
+        job_id: str | None,
+        start: float,
+        points: List[JobPoint],
+    ) -> BatchReport:
+        with obs.span("jobs.plan", points=len(points)):
+            hits, misses = self._plan(points)
         outcomes: Dict[JobPoint, PointOutcome] = {}
         for point, payload in hits:
             outcomes[point] = PointOutcome(
                 point, "hit", payload_summary(payload)
             )
+            obs.instant("jobs.point", label=point.label(), outcome="hit")
 
         # Collapse key-identical misses to one computation each (keys
         # exist only when a store is configured; without one every
@@ -640,9 +660,15 @@ class BatchScheduler:
                 outcomes[point] = PointOutcome(
                     point, "computed", payload_summary(computed[slot])
                 )
+                obs.instant(
+                    "jobs.point", label=point.label(), outcome="computed"
+                )
             elif slot in failed_slots:
                 outcomes[point] = PointOutcome(
                     point, "failed", _zero_summary()
+                )
+                obs.instant(
+                    "jobs.point", label=point.label(), outcome="failed"
                 )
             # else: unresolved at interrupt time — not part of the
             # (partial) report at all.
@@ -683,8 +709,6 @@ def _new_job_id(spec: JobSpec, store: ResultStore | None) -> str:
 def _write_job_record(
     store: ResultStore, spec: JobSpec, report: BatchReport
 ) -> Path:
-    import warnings
-
     from repro.service.store import StoreWriteWarning
 
     store.jobs_dir.mkdir(parents=True, exist_ok=True)
@@ -702,10 +726,11 @@ def _write_job_record(
     except OSError as exc:
         # The batch's results are already persisted (or returned);
         # losing the job record is not worth aborting over.
-        warnings.warn(
-            f"job record {report.job_id} not written ({exc})",
-            StoreWriteWarning,
-            stacklevel=2,
+        obs.warn_event(
+            StoreWriteWarning(
+                f"job record {report.job_id} not written ({exc})"
+            ),
+            job_id=report.job_id,
         )
     return path
 

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import trace as obs
 from repro.service import faults
 
 
@@ -166,12 +167,20 @@ def _worker_main(worker_id: int, func: Callable, conn, result_q) -> None:
     """Dispatch loop for one supervised worker process.
 
     Receives ``(index, attempt, key, item)`` on its private pipe,
-    reports ``(worker_id, index, attempt, ok, payload_or_error)`` on
-    the shared queue.  Armed worker faults (crash/hang) fire here —
-    between receipt and execution — so a "crashed" worker really does
-    die holding the task, exactly like the failure being simulated.
+    reports ``(worker_id, index, attempt, ok, payload_or_error,
+    obs_blob)`` on the shared queue.  Armed worker faults (crash/hang)
+    fire here — between receipt and execution — so a "crashed" worker
+    really does die holding the task, exactly like the failure being
+    simulated.  When tracing is armed (``REPRO_TRACE`` propagated from
+    the supervisor) the worker buffers spans/counters locally and ships
+    them as ``obs_blob`` with each report; the supervisor absorbs them
+    into the parent recorder — the same worker-buffers/parent-merges
+    pattern as store writes.
     """
     faults.enter_worker()
+    # Fork-safe: drop any recorder inherited from the parent (wrong pid,
+    # parent events would duplicate on merge) and start a local buffer.
+    obs.adopt_in_worker()
     while True:
         try:
             msg = conn.recv()
@@ -180,9 +189,17 @@ def _worker_main(worker_id: int, func: Callable, conn, result_q) -> None:
         if msg is None:
             break
         index, attempt, key, item = msg
+        rec = obs.active()
         try:
             faults.worker_faults(key, attempt)
-            payload = func(item)
+            if rec is not None:
+                with rec.span(
+                    "pool.task", key=key, attempt=attempt,
+                    worker=worker_id,
+                ):
+                    payload = func(item)
+            else:
+                payload = func(item)
         except KeyboardInterrupt:
             break
         except BaseException as exc:  # noqa: BLE001 - reported, not hidden
@@ -190,12 +207,16 @@ def _worker_main(worker_id: int, func: Callable, conn, result_q) -> None:
                 result_q.put((
                     worker_id, index, attempt, False,
                     f"{type(exc).__name__}: {exc}",
+                    rec.drain_blob() if rec is not None else None,
                 ))
             except (OSError, ValueError):
                 break
         else:
             try:
-                result_q.put((worker_id, index, attempt, True, payload))
+                result_q.put((
+                    worker_id, index, attempt, True, payload,
+                    rec.drain_blob() if rec is not None else None,
+                ))
             except (OSError, ValueError):
                 break
 
@@ -318,7 +339,10 @@ def _run_sequential(
         state = _TaskState(index=i, key=keys[i], label=labels[i])
         while True:
             try:
-                result.payloads[i] = func(item)
+                with obs.span(
+                    "pool.task", key=state.key, attempt=state.attempt
+                ):
+                    result.payloads[i] = func(item)
                 break
             except KeyboardInterrupt:
                 result.interrupted = True
@@ -326,6 +350,7 @@ def _run_sequential(
             except Exception as exc:
                 state.record("error", f"{type(exc).__name__}: {exc}")
                 state.attempt += 1
+                obs.inc("pool.error")
                 if state.attempt >= policy.max_attempts:
                     result.failures.append(TaskFailure(
                         index=i, key=state.key, label=state.label,
@@ -333,8 +358,18 @@ def _run_sequential(
                         error=state.history[-1]["error"],
                         history=state.history,
                     ))
+                    obs.inc("pool.quarantine")
+                    obs.instant(
+                        "pool.quarantine", key=state.key, kind="error",
+                        attempts=state.attempt,
+                    )
                     break
                 result.n_retries += 1
+                obs.inc("pool.retry")
+                obs.instant(
+                    "pool.retry", key=state.key, kind="error",
+                    attempt=state.attempt,
+                )
                 delay = policy.backoff_s(state.key, state.attempt - 1)
                 if delay > 0:
                     try:
@@ -373,15 +408,25 @@ def _run_pool(
         nonlocal unresolved
         state.record(kind, error)
         state.attempt += 1
+        obs.inc(f"pool.{kind}")
         if state.attempt >= policy.max_attempts:
             result.failures.append(TaskFailure(
                 index=state.index, key=state.key, label=state.label,
                 attempts=state.attempt, kind=kind, error=error,
                 history=state.history,
             ))
+            obs.inc("pool.quarantine")
+            obs.instant(
+                "pool.quarantine", key=state.key, kind=kind,
+                attempts=state.attempt,
+            )
             unresolved -= 1
             return
         result.n_retries += 1
+        obs.inc("pool.retry")
+        obs.instant(
+            "pool.retry", key=state.key, kind=kind, attempt=state.attempt,
+        )
         ready = time.monotonic() + policy.backoff_s(
             state.key, state.attempt - 1
         )
@@ -405,6 +450,11 @@ def _run_pool(
                     pending.insert(0, (now, state))
                     continue
                 outstanding[state.index] = state.attempt
+                obs.inc("pool.dispatch")
+                obs.instant(
+                    "pool.dispatch", key=state.key,
+                    attempt=state.attempt, worker=w.id,
+                )
 
             # Wait for a result, bounded by the nearest deadline/retry.
             wait = 0.05
@@ -421,7 +471,10 @@ def _run_pool(
                 msg = None
 
             if msg is not None:
-                worker_id, index, attempt, ok, payload = msg
+                worker_id, index, attempt, ok, payload, blob = msg
+                rec = obs.active()
+                if rec is not None:
+                    rec.absorb(blob)
                 w = next(
                     (x for x in workers if x.id == worker_id), None
                 )
@@ -470,6 +523,10 @@ def _run_pool(
                 elif w.deadline is not None and now > w.deadline:
                     state = w.busy
                     workers.remove(w)
+                    obs.instant(
+                        "pool.kill", worker=w.id, reason="hang",
+                        key=None if state is None else state.key,
+                    )
                     w.kill()
                     w.conn.close()
                     if state is not None \
@@ -489,11 +546,14 @@ def _run_pool(
         # caller can persist every finished point.
         while True:
             try:
-                worker_id, index, attempt, ok, payload = result_q.get(
+                worker_id, index, attempt, ok, payload, blob = result_q.get(
                     timeout=0.05
                 )
             except (queue_mod.Empty, OSError):
                 break
+            rec = obs.active()
+            if rec is not None:
+                rec.absorb(blob)
             if ok and result.payloads[index] is None \
                     and outstanding.get(index) == attempt:
                 result.payloads[index] = payload

@@ -37,6 +37,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.activity import ActivityResult, ActivityRun
 from repro.netlist.circuit import Circuit
+from repro.obs import trace as obs
 from repro.netlist.compiled import (
     ZERO_DELAY_FINGERPRINT,
     content_digest,
@@ -184,7 +185,8 @@ def cached_estimate(
         store = default_store()
     key = estimate_key(circuit, spec)
     if store is not None:
-        payload = store.get(key)
+        with obs.span("cache.lookup", kind="estimate"):
+            payload = store.get(key)
         if payload is not None:
             result = decode_estimate(payload, circuit)
             # Like decode_result's delay_description: the description
@@ -233,9 +235,13 @@ def cached_run(
 
     result: ActivityResult | None = None
     if store is not None:
-        payload = store.get(key)
+        with obs.span("cache.lookup", kind="run"):
+            payload = store.get(key)
         if payload is not None:
-            result = decode_result(payload, circuit, run.delay_description)
+            with obs.span("cache.decode", kind="run"):
+                result = decode_result(
+                    payload, circuit, run.delay_description
+                )
     if result is None:
         vectors = stimulus.vectors(stim, n_vectors + 1)
         if shards > 1:

@@ -54,7 +54,6 @@ import json
 import os
 import tempfile
 import time
-import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
@@ -70,6 +69,7 @@ from repro.core.activity import ActivityResult, summarize_counts
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import content_digest
+from repro.obs import trace as obs
 
 #: Result classes: engines within one class are mutually bit-identical.
 GLITCH_EXACT = "glitch-exact"
@@ -365,8 +365,26 @@ class ResultStore:
         self.misses = 0
         #: Human-readable notes from the open-time recovery scan.
         self.recovery_notes: List[str] = []
+        #: Monotonic LRU clock.  Recency is a per-store counter, not
+        #: wall time: ``time.time()`` can step backwards under NTP
+        #: adjustment and would then evict the hottest entry.  Seeded
+        #: past every loaded entry so legacy wall-clock values (and
+        #: mtime-derived rebuilds) stay older than any new touch.
+        self._tick = 0
         with self._locked():
             self._recover_open()
+        self._tick = max(
+            self._tick,
+            max(
+                (e.get("last_used", 0) for e in self._index.values()),
+                default=0,
+            ),
+        )
+
+    def _touch(self) -> int:
+        """Next LRU recency value (strictly increasing per store)."""
+        self._tick += 1
+        return self._tick
 
     # -- locking -------------------------------------------------------
     @contextmanager
@@ -533,6 +551,15 @@ class ResultStore:
         self._index = OrderedDict(sorted(
             merged.items(), key=lambda kv: kv[1].get("last_used", 0.0)
         ))
+        # Concurrent writers may have advanced recency past our tick;
+        # re-seed so our next touch still sorts newest.
+        self._tick = max(
+            self._tick,
+            max(
+                (e.get("last_used", 0) for e in self._index.values()),
+                default=0,
+            ),
+        )
         lines = "".join(
             json.dumps(entry, sort_keys=True) + "\n"
             for entry in self._index.values()
@@ -543,11 +570,11 @@ class ResultStore:
             # A failing disk must not abort the batch that computed
             # the results: keep the in-memory state dirty so a later
             # flush retries, and tell the user persistence is at risk.
-            warnings.warn(
-                f"index write for {self.root} failed ({exc}); "
-                "entries remain in memory only",
-                StoreWriteWarning,
-                stacklevel=2,
+            obs.warn_event(
+                StoreWriteWarning(
+                    f"index write for {self.root} failed ({exc}); "
+                    "entries remain in memory only"
+                ),
             )
             return
         self._tombstones.clear()
@@ -627,16 +654,22 @@ class ResultStore:
         entry = self._index.get(digest)
         if entry is None:
             self.misses += 1
+            obs.inc("store.miss")
             return None
-        payload = self._read_object(entry)
+        with obs.span("store.read", digest=digest[:12]):
+            payload = self._read_object(entry)
         if payload is None:
             self._drop_entry(digest, unlink=True)
+            obs.instant("store.self_heal", digest=digest[:12])
+            obs.inc("store.self_heal")
             self.misses += 1
+            obs.inc("store.miss")
             return None
-        entry["last_used"] = time.time()
+        entry["last_used"] = self._touch()
         self._index.move_to_end(digest)
         self._dirty = True
         self.hits += 1
+        obs.inc("store.hit")
         return payload
 
     def put(self, key: RunKey, payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
@@ -657,19 +690,21 @@ class ResultStore:
             # corrupt_payload models storage corrupting the bytes
             # *after* the checksum was recorded — exactly the torn
             # write / bit flip the read-side verification must catch.
-            _atomic_write(
-                self._object_path(digest),
-                faults.corrupt_payload(data, key=digest),
-            )
+            with obs.span("store.write", digest=digest[:12], bytes=len(data)):
+                _atomic_write(
+                    self._object_path(digest),
+                    faults.corrupt_payload(data, key=digest),
+                )
         except OSError as exc:
-            warnings.warn(
-                f"store write for {digest[:12]} failed ({exc}); "
-                "result not cached",
-                StoreWriteWarning,
-                stacklevel=2,
+            obs.warn_event(
+                StoreWriteWarning(
+                    f"store write for {digest[:12]} failed ({exc}); "
+                    "result not cached"
+                ),
+                digest=digest[:12],
             )
             return None
-        now = time.time()
+        obs.inc("store.put")
         entry = {
             "digest": digest,
             "key": asdict(key),
@@ -678,8 +713,8 @@ class ResultStore:
             "summary": payload_summary(payload),
             "circuit_name": payload.get("circuit_name"),
             "delay_description": payload.get("delay_description"),
-            "created": now,
-            "last_used": now,
+            "created": time.time(),
+            "last_used": self._touch(),
         }
         self._index[digest] = entry
         self._index.move_to_end(digest)
@@ -701,6 +736,8 @@ class ResultStore:
             except OSError:
                 pass
             evicted += 1
+        if evicted:
+            obs.inc("store.eviction", evicted)
         return evicted
 
     # -- maintenance / introspection -----------------------------------

@@ -61,6 +61,7 @@ from typing import Dict, Iterable, List, Mapping, Protocol, Sequence, Tuple, run
 
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
+from repro.obs import trace as obs
 from repro.netlist.compiled import (
     CompiledCircuit,
     compile_circuit,
@@ -191,6 +192,8 @@ class EventDrivenBackend:
             sim.settle(warmup)
         stats = RunStats()
         per_node = stats.per_node
+        rec = obs.active()
+        t0 = rec.now() if rec is not None else 0
         for vec in it:
             trace = sim.step(vec)
             stats.cycles += 1
@@ -202,6 +205,12 @@ class EventDrivenBackend:
                 act.add_cycle(count, rises.get(net, 0))
         stats.final_values = list(sim.values)
         stats.final_ff_state = dict(sim.ff_state)
+        if rec is not None:
+            rec.complete("sim.batch", t0, backend="event", cycles=stats.cycles)
+            rec.metrics.inc("sim.vectors", stats.cycles)
+            rec.metrics.inc(
+                "sim.cell_evals", stats.cycles * len(self.circuit.cells)
+            )
         return stats
 
 
@@ -301,6 +310,8 @@ class BitParallelBackend:
         monitor = self._monitor
         B = self.batch_cycles
 
+        rec = obs.active()
+        n_cells = len(cc.cell_kinds)
         batch: List[List[int]] = []
         exhausted = False
         while not exhausted:
@@ -315,6 +326,7 @@ class BitParallelBackend:
                 exhausted = True
             if not batch:
                 break
+            bt0 = rec.now() if rec is not None else 0
             nbits = len(batch)
             mask = (1 << nbits) - 1
             top = nbits - 1
@@ -350,6 +362,12 @@ class BitParallelBackend:
             for net in range(n_nets):
                 values[net] = (net_bits[net] >> top) & 1
             stats.cycles += nbits
+            if rec is not None:
+                rec.complete(
+                    "sim.batch", bt0, backend=self.name, cycles=nbits
+                )
+                rec.metrics.inc("sim.vectors", nbits)
+                rec.metrics.inc("sim.cell_evals", nbits * n_cells)
 
         stats.final_values = values
         stats.final_ff_state = state

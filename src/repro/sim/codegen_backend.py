@@ -39,6 +39,7 @@ from repro.netlist.compiled import (
     compile_circuit,
     settle_lanes,
 )
+from repro.obs import trace as obs
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 
 
@@ -181,6 +182,8 @@ class CodegenBackend:
         last_nb = 0
         cycles = 0
 
+        rec = obs.active()
+        n_cells = len(cc.cell_kinds)
         batch: List[List[int]] = []
         exhausted = False
         while not exhausted:
@@ -195,6 +198,7 @@ class CodegenBackend:
                 exhausted = True
             if not batch:
                 break
+            bt0 = rec.now() if rec is not None else 0
             nb = len(batch)
             if nb != last_nb:
                 consts = _batch_consts(W, nb)
@@ -266,6 +270,10 @@ class CodegenBackend:
             for i, ci in enumerate(ff_cells):
                 ff_state[ci] = (q_lanes[i] >> top) & 1
             cycles += nb
+            if rec is not None:
+                rec.complete("sim.batch", bt0, backend="codegen", cycles=nb)
+                rec.metrics.inc("sim.vectors", nb)
+                rec.metrics.inc("sim.cell_evals", nb * n_cells)
 
         stats = RunStats()
         per_node = stats.per_node

@@ -41,6 +41,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.netlist.circuit import Circuit
 from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.obs import trace as obs
 from repro.sim.delays import DelayModel, UnitDelay
 
 
@@ -277,8 +278,9 @@ class Simulator:
                 warmup = next(it)
             except StopIteration:
                 return []
-        self.settle(warmup)
-        return [self.step(v) for v in it]
+        with obs.span("sim.engine", circuit=self.circuit.name):
+            self.settle(warmup)
+            return [self.step(v) for v in it]
 
     # ------------------------------------------------------------------
     def output_values(self) -> Dict[str, int]:

@@ -35,6 +35,7 @@ from repro.netlist.cells import CellKind
 from repro.netlist.circuit import Circuit
 from repro.netlist.codegen import static_event_horizon
 from repro.netlist.compiled import CompiledCircuit, compile_circuit
+from repro.obs import trace as obs
 from repro.sim.delays import DelayModel, UnitDelay, ZeroDelay
 
 try:
@@ -374,6 +375,8 @@ class VectorBackend:
         acc = tuple(np.zeros(n_nets, np.int64) for _ in range(5))
         acc_tog, acc_rise, acc_useful, _acc_useless, acc_active = acc
         cycles = 0
+        rec = obs.active()
+        n_cells = len(cc.cell_kinds)
 
         batch: List[List[int]] = []
         exhausted = False
@@ -383,6 +386,7 @@ class VectorBackend:
             )
             if not batch:
                 break
+            bt0 = rec.now() if rec is not None else 0
             nb = len(batch)
             nw, Mw = self._word_consts(nb)
             sl = np.zeros((n_nets, nw), np.uint64)
@@ -407,6 +411,10 @@ class VectorBackend:
                 for i, ci in enumerate(ff_cells):
                     ff_state[ci] = int(q_top[i])
             cycles += nb
+            if rec is not None:
+                rec.complete("sim.batch", bt0, backend=self.name, cycles=nb)
+                rec.metrics.inc("sim.vectors", nb)
+                rec.metrics.inc("sim.cell_evals", nb * n_cells)
 
         return self._finalize(RunStats(), acc, v0bits, ff_state, cycles)
 
@@ -426,6 +434,8 @@ class VectorBackend:
         acc = tuple(np.zeros(n_nets, np.int64) for _ in range(5))
         acc_tog, acc_rise, acc_useful, acc_useless, acc_active = acc
         cycles = 0
+        rec = obs.active()
+        n_cells = len(cc.cell_kinds)
         wave = chg = None
         wave_shape = None
 
@@ -437,6 +447,7 @@ class VectorBackend:
             )
             if not batch:
                 break
+            bt0 = rec.now() if rec is not None else 0
             nb = len(batch)
             nw, Mw = self._word_consts(nb)
             sl = np.zeros((n_nets, nw), np.uint64)
@@ -523,5 +534,9 @@ class VectorBackend:
                 for i, ci in enumerate(ff_cells):
                     ff_state[ci] = int(q_top[i])
             cycles += nb
+            if rec is not None:
+                rec.complete("sim.batch", bt0, backend=self.name, cycles=nb)
+                rec.metrics.inc("sim.vectors", nb)
+                rec.metrics.inc("sim.cell_evals", nb * n_cells)
 
         return self._finalize(RunStats(), acc, v0bits, ff_state, cycles)

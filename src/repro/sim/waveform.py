@@ -75,6 +75,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.core.transitions import NodeActivity
 from repro.netlist.circuit import Circuit
+from repro.obs import trace as obs
 from repro.netlist.compiled import (
     CompiledCircuit,
     compile_circuit,
@@ -237,6 +238,7 @@ class WaveformBackend:
         last_nb = 0
         cycles = 0
 
+        rec = obs.active()
         batch: List[List[int]] = []
         exhausted = False
         while not exhausted:
@@ -251,6 +253,7 @@ class WaveformBackend:
                 exhausted = True
             if not batch:
                 break
+            bt0 = rec.now() if rec is not None else 0
             nb = len(batch)
             if nb != last_nb:
                 consts = self._batch_consts(nb)
@@ -348,6 +351,10 @@ class WaveformBackend:
             for i, ci in enumerate(ff_cells):
                 ff_state[ci] = (q_lanes[i] >> top) & 1
             cycles += nb
+            if rec is not None:
+                rec.complete("sim.batch", bt0, backend="waveform", cycles=nb)
+                rec.metrics.inc("sim.vectors", nb)
+                rec.metrics.inc("sim.cell_evals", nb * n_cells)
 
         per_node = stats.per_node
         for net, tog in enumerate(acc_tog):

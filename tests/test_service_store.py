@@ -139,6 +139,41 @@ class TestLruBound:
         with pytest.raises(ValueError):
             ResultStore(tmp_path).prune(-5)
 
+    def test_recency_survives_clock_going_backward(
+        self, tmp_path, monkeypatch
+    ):
+        """LRU order comes from a monotonic tick, not the wall clock.
+
+        An NTP step (or DST misconfiguration) must not make a
+        just-touched entry look ancient and get it evicted.
+        """
+        import repro.service.store as store_mod
+
+        one = len(json.dumps(_payload(0, pad=10)))
+        store = ResultStore(tmp_path, max_bytes=3 * one)
+        now = [1_000_000.0]
+        monkeypatch.setattr(store_mod.time, "time", lambda: now[0])
+        store.put(_key(0), _payload(0, pad=10))
+        store.put(_key(1), _payload(1, pad=10))
+        store.put(_key(2), _payload(2, pad=10))
+        now[0] -= 3600.0  # the wall clock jumps an hour backwards
+        assert store.get(_key(0)) is not None  # touch 0 under the old time
+        store.put(_key(3), _payload(3, pad=10))  # must evict 1, not 0
+        assert store.get(_key(0)) is not None
+        assert store.get(_key(1)) is None
+
+    def test_tick_reseeds_across_instances(self, tmp_path):
+        """A fresh instance's touches outrank everything persisted."""
+        one = len(json.dumps(_payload(0, pad=10)))
+        store = ResultStore(tmp_path, max_bytes=3 * one)
+        for n in range(3):
+            store.put(_key(n), _payload(n, pad=10))
+        fresh = ResultStore(tmp_path, max_bytes=3 * one)
+        assert fresh.get(_key(0)) is not None  # touch in the new process
+        fresh.put(_key(3), _payload(3, pad=10))  # evicts 1, not 0
+        assert fresh.get(_key(0)) is not None
+        assert fresh.get(_key(1)) is None
+
 
 class TestPayloadCodec:
     def test_roundtrip_is_exact(self):
