@@ -3,11 +3,13 @@
 Measures candidates evaluated per second on the 8-bit ripple-carry
 adder's default transform space for the two search regimes:
 
-* ``sim-everything`` — exhaustive search: every unique candidate pays
-  a glitch-exact simulation (the oracle baseline);
-* ``estimate-pruned`` — beam search: candidates are ranked with the
-  fused analytic estimators and only the surviving frontier is
-  simulated.
+* ``sim-everything`` — exhaustive search on the from-scratch reference
+  path (``INCREMENTAL_EXPANSION`` off): every candidate is rebuilt,
+  recompiled and re-estimated from nothing and every unique one pays a
+  glitch-exact simulation (the oracle baseline);
+* ``estimate-pruned`` — beam search on the incremental path:
+  expansions replay structural deltas, recompute only edit cones, and
+  only the surviving frontier is simulated.
 
 The per-candidate speedup of the estimate-pruned regime is the whole
 point of the subsystem, so it is part of the committed perf
@@ -19,12 +21,17 @@ like any simulator or estimator workload.
 import pytest
 
 from repro.circuits.adders import build_rca_circuit
+from repro.explore import search
 from repro.explore.search import explore
 
 _N_VECTORS = 60
 _STRATEGY = {
     "sim-everything": "exhaustive",
     "estimate-pruned": "beam",
+}
+_INCREMENTAL = {
+    "sim-everything": False,
+    "estimate-pruned": True,
 }
 #: Unique candidates in rca8's default space after fingerprint dedup.
 #: run_benchmarks.py divides the median by this to get candidates/s —
@@ -43,7 +50,8 @@ def rca8():
 
 
 @pytest.mark.parametrize("mode", ["sim-everything", "estimate-pruned"])
-def test_explore_throughput_rca8(benchmark, rca8, mode):
+def test_explore_throughput_rca8(benchmark, rca8, mode, monkeypatch):
+    monkeypatch.setattr(search, "INCREMENTAL_EXPANSION", _INCREMENTAL[mode])
     result = benchmark(
         explore, rca8, strategy=_STRATEGY[mode], n_vectors=_N_VECTORS
     )

@@ -1,0 +1,117 @@
+"""Microbenchmarks of the incremental-recompute stack, stage by stage.
+
+``bench_explore.py`` measures the end-to-end payoff (estimate-pruned
+beam vs the from-scratch sim-everything oracle); this file isolates
+*where* that payoff comes from, one pair of workloads per layer:
+
+* ``compile`` — splicing a compiled circuit from the parent's via
+  :func:`~repro.netlist.compiled.compile_delta` (fused kernels rebuilt
+  only for edit-cone cells) vs a full
+  :func:`~repro.netlist.compiled.compile_circuit` build;
+* ``estimate`` — cone-limited probability/density re-estimation
+  (:func:`~repro.estimate.workload.incremental_workload`) vs the full
+  fixed-point passes (:func:`~repro.estimate.workload.workload_snapshot`);
+* ``expand`` — a beam candidate expansion over rca8's default space on
+  the incremental path (delta replay + cone recompute + fingerprint
+  dedup) vs the pre-incremental reference path.
+
+Each ``delta`` workload's median lands in ``BENCH_sim.json`` next to
+its ``full`` twin with a derived ``speedup_vs_full``, so the committed
+perf trajectory shows the incremental layers' value separately from
+search-policy effects.
+"""
+
+import pytest
+
+from repro.circuits.adders import build_rca_circuit
+from repro.circuits.multipliers import build_multiplier_circuit
+from repro.estimate.workload import incremental_workload, workload_snapshot
+from repro.explore import search
+from repro.explore.cost import CostContext
+from repro.explore.specs import TransformSpec, default_space
+from repro.netlist.compiled import compile_circuit, compile_delta
+from repro.netlist.delta import (
+    cone_net_indices,
+    full_fanout_cone,
+    touched_cell_indices,
+)
+from repro.sim.delays import UnitDelay
+from repro.sim.vectors import UniformStimulus
+
+_ROUNDS = 20
+
+
+@pytest.fixture(scope="module")
+def retime_delta_array8():
+    """(parent, delta, replayed) for array8's retime(stages=1) edit.
+
+    A representative *local* edit: the inserted pipeline registers and
+    rewired consumers cone to ~20% of the netlist, which is what beam
+    expansions mostly look like.  (A ``balance`` edit on the same
+    circuit cones to ~80% and shows the incremental floor instead.)
+    """
+    circuit, _ = build_multiplier_circuit(8, "array")
+    spec = TransformSpec.make("retime", stages=1)
+    _child, _info, delta = spec.apply_delta(circuit, UnitDelay())
+    assert delta.is_pure_addition
+    return circuit, delta, delta.apply(circuit)
+
+
+@pytest.mark.parametrize("mode", ["delta", "full"])
+def test_incremental_compile_array8(benchmark, retime_delta_array8, mode):
+    parent, delta, _replayed = retime_delta_array8
+    compile_circuit(parent)  # parent build is shared, not under test
+
+    # Both builds memoize on the child object, so each round compiles
+    # a freshly replayed (structurally identical) child.
+    def setup():
+        return (delta.apply(parent),), {}
+
+    if mode == "delta":
+        fn = lambda child: compile_delta(parent, delta, child)  # noqa: E731
+    else:
+        fn = lambda child: compile_circuit(child)  # noqa: E731
+    cc = benchmark.pedantic(fn, setup=setup, rounds=_ROUNDS)
+    assert cc.n_nets == len(_replayed.nets)
+
+
+@pytest.mark.parametrize("mode", ["delta", "full"])
+def test_incremental_estimate_array8(benchmark, retime_delta_array8, mode):
+    parent, delta, replayed = retime_delta_array8
+    stimulus = UniformStimulus()
+    snapshot = workload_snapshot(parent, stimulus)
+    cc = compile_delta(parent, delta, replayed)
+    cone = full_fanout_cone(replayed, touched_cell_indices(replayed, delta))
+    nets = cone_net_indices(replayed, cone, delta)
+    if mode == "delta":
+        result = benchmark(
+            incremental_workload,
+            replayed, cc, snapshot, cone, nets, stimulus,
+        )
+        assert result is not None
+        assert result.result == workload_snapshot(replayed, stimulus).result
+    else:
+        result = benchmark(workload_snapshot, replayed, stimulus)
+        assert result is not None
+
+
+@pytest.mark.parametrize("mode", ["delta", "full"])
+def test_incremental_expand_rca8(benchmark, mode, monkeypatch):
+    circuit, _ = build_rca_circuit(8, with_cin=False)
+    space = default_space()
+    delay_model = search.resolve_delay(space.delay)
+    stimulus = UniformStimulus()
+    context = CostContext()
+    monkeypatch.setattr(search, "INCREMENTAL_EXPANSION", mode == "delta")
+    search._EXPAND_STATS.clear()
+    # Warm the per-parent transform memo (and compile/fingerprint
+    # memos) so the timed region measures steady-state expansion.
+    search._expand_candidates(
+        circuit, space, delay_model, stimulus, context, 4
+    )
+    candidates, n_enumerated = benchmark(
+        search._expand_candidates,
+        circuit, space, delay_model, stimulus, context, 4,
+    )
+    assert len(candidates) == 10
+    assert n_enumerated == 17

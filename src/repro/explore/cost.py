@@ -41,10 +41,10 @@ from repro.tech.clock import ClockTreeModel
 from repro.tech.library import TechnologyLibrary
 
 
-def transition_instants(
+def transition_instant_sets(
     circuit: Circuit, delay_model: DelayModel
-) -> Dict[int, int]:
-    """Per-net count of distinct potential transition instants per cycle.
+) -> Dict[int, FrozenSet[int]]:
+    """Per-net set of distinct potential transition instants per cycle.
 
     Primary inputs and flipflop outputs switch only at the clock edge
     (one instant, t=0).  A combinational output can change at
@@ -52,8 +52,13 @@ def transition_instants(
     inputs can change, so the instant sets propagate through one
     topological pass; their sizes bound how many times each net can
     evaluate per cycle.  Constant-driven and undriven nets never
-    transition (zero instants).  Sets are bounded by the critical path
-    length, so the pass is cheap even on deep circuits.
+    transition (zero instants — no entry here).  Sets are bounded by
+    the critical path length, so the pass is cheap even on deep
+    circuits.
+
+    The full sets (not just their sizes) are exposed so the
+    incremental explore path can splice a child circuit's sets from
+    its parent's (:func:`spliced_instant_state`).
     """
     empty: FrozenSet[int] = frozenset()
     edge: FrozenSet[int] = frozenset({0})
@@ -69,7 +74,92 @@ def transition_instants(
         for pos, out in enumerate(cell.outputs):
             d = delay_model.delay(cell, pos)
             instants[out] = frozenset(t + d for t in arrivals)
-    return {net: len(times) for net, times in instants.items()}
+    return instants
+
+
+def transition_instants(
+    circuit: Circuit, delay_model: DelayModel
+) -> Dict[int, int]:
+    """Per-net **count** of potential transition instants per cycle.
+
+    The size projection of :func:`transition_instant_sets` — the
+    glitch multiplier :func:`estimated_cost` feeds into the analytic
+    power term.
+    """
+    sets = transition_instant_sets(circuit, delay_model)
+    return {net: len(times) for net, times in sets.items()}
+
+
+def spliced_instant_state(
+    parent_sets: Dict[int, FrozenSet[int]],
+    parent_arrivals: Dict[int, int],
+    child: Circuit,
+    delay_model: DelayModel,
+    cone_cells,
+) -> Tuple[Dict[int, FrozenSet[int]], Dict[int, int]]:
+    """Child instant sets + arrival levels from the parent's, cone only.
+
+    *child* must extend the parent index-aligned (pure-additive delta
+    replay) and *cone_cells* must contain every **combinational**
+    child cell whose inputs' instant sets or arrival levels can differ
+    from the parent run — the comb-fanout closure of the delta's
+    touched cells, widened by the drivers of fanout-changed nets
+    (load-dependent delay models re-time a cell when its output gains
+    a reader, even though the cell itself was not rewired; the explore
+    layer computes that widened seed set from the delta).  Sequential
+    indices in *cone_cells* are ignored: register outputs pin to the
+    clock edge regardless.
+
+    Only cone cells are re-propagated, in child topological order —
+    everything else keeps the parent's values, which the cone-closure
+    property guarantees are identical to a from-scratch pass
+    (:func:`transition_instant_sets` / :meth:`Circuit.levelize` with
+    the same delay model — the property suite pins both).
+    """
+    empty: FrozenSet[int] = frozenset()
+    edge: FrozenSet[int] = frozenset({0})
+    sets = dict(parent_sets)
+    arr = dict(parent_arrivals)
+    for n in child.inputs:
+        sets[n] = edge
+        arr[n] = 0
+    for cell in child.cells:
+        if cell.is_sequential:
+            for out in cell.outputs:
+                sets[out] = edge
+                arr[out] = 0
+    if not cone_cells:
+        return sets, arr
+    for cell in child.topological_cells():
+        if cell.index not in cone_cells:
+            continue
+        arrivals: FrozenSet[int] = empty
+        for n in cell.inputs:
+            arrivals |= sets.get(n, empty)
+        at = max((arr.get(n, 0) for n in cell.inputs), default=0)
+        for pos, out in enumerate(cell.outputs):
+            d = delay_model.delay(cell, pos)
+            sets[out] = frozenset(t + d for t in arrivals)
+            arr[out] = at + d
+    return sets, arr
+
+
+def period_from_arrivals(circuit: Circuit, arrivals: Dict[int, int]) -> int:
+    """Critical path from a maintained arrival-level map.
+
+    Mirrors :meth:`Circuit.critical_path_length` exactly — max arrival
+    over primary outputs and flipflop D-inputs — but reads the levels
+    from the incrementally-spliced map instead of re-levelizing.  The
+    levels come from a separate arrival map rather than the instant
+    sets because the two disagree on constant-driven cells: a cell
+    with no transitioning input has an *empty* instant set but still
+    a nonzero arrival level.
+    """
+    endpoints = list(circuit.outputs)
+    for c in circuit.cells:
+        if c.is_sequential:
+            endpoints.extend(c.inputs)
+    return max((arrivals.get(n, 0) for n in endpoints), default=0)
 
 
 @dataclass(frozen=True)
@@ -200,9 +290,24 @@ def estimated_cost(
     as :func:`repro.core.power.estimate_power`, so the two cost paths
     differ only in how glitches enter the logic term.
     """
-    frequency, tech, clock_model, _ = context.resolved()
     estimate = estimate_workload(circuit, stimulus)
     instants = transition_instants(circuit, delay_model)
+    period = circuit.critical_path_length(
+        lambda cell, pos: delay_model.delay(cell, pos)
+    )
+    return estimated_cost_from(
+        circuit, context, latency, estimate, instants, period
+    )
+
+
+def _power_from_estimate(
+    circuit: Circuit,
+    context: CostContext,
+    estimate,
+    instant_counts: Dict[int, int],
+) -> float:
+    """Total analytic power (W) from an estimate + instant counts."""
+    frequency, tech, clock_model, _ = context.resolved()
     ff_outputs = {
         c.outputs[0] for c in circuit.cells if c.is_sequential
     }
@@ -210,7 +315,7 @@ def estimated_cost(
     for net in estimate.monitored:
         if net in ff_outputs:
             continue
-        rate = estimate.activities.get(net, 0.0) * instants.get(net, 0)
+        rate = estimate.activities.get(net, 0.0) * instant_counts.get(net, 0)
         if rate <= 0.0:
             continue
         logic += dynamic_power(
@@ -220,12 +325,34 @@ def estimated_cost(
             frequency,
         )
     n_ff = circuit.num_flipflops
-    power = (
+    return (
         logic
         + n_ff * tech.ff_average_power(frequency)
         + clock_model.power(n_ff, tech.vdd, frequency)
     )
-    area, period = structural_metrics(circuit, delay_model, context, latency)
+
+
+def estimated_cost_from(
+    circuit: Circuit,
+    context: CostContext,
+    latency: int,
+    estimate,
+    instant_counts: Dict[int, int],
+    period: int,
+) -> CostVector:
+    """:func:`estimated_cost` from already-computed ingredients.
+
+    The incremental explore path produces the workload estimate, the
+    instant counts and the period by cone-limited reuse of the parent
+    candidate's state; this assembles the identical
+    :class:`CostVector` without recomputing any of them.  The power
+    loop itself stays O(nets) — it is cheap arithmetic, and keeping
+    one code path (:func:`_power_from_estimate`) is what guarantees
+    the incremental and from-scratch costs are bit-identical.
+    """
+    _, tech, _, area_model = context.resolved()
+    power = _power_from_estimate(circuit, context, estimate, instant_counts)
+    area = area_model.circuit_area_mm2(circuit, tech)
     return CostVector(
         power_mw=power * 1e3, area_mm2=area, latency=latency, period=period
     )

@@ -77,4 +77,10 @@ def format_front(result: ExploreResult) -> str:
 
 def format_explore(result: ExploreResult) -> str:
     """Candidate table plus front, ready to print."""
-    return f"{format_candidates(result)}\n\n{format_front(result)}"
+    parts = [format_candidates(result), format_front(result)]
+    if result.delta_reuse_frac is not None:
+        parts.append(
+            f"delta reuse: {result.delta_reuse_frac:.0%} of candidate "
+            f"expansions served incrementally"
+        )
+    return "\n\n".join(parts)

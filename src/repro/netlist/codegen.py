@@ -375,6 +375,48 @@ def levelize_cells(cc: "CompiledCircuit") -> List[int]:
     return cell_level
 
 
+def levelize_cells_delta(
+    parent_cc: "CompiledCircuit",
+    child_cc: "CompiledCircuit",
+    cone_cells,
+) -> List[int]:
+    """Splice :func:`levelize_cells` results across a delta compile.
+
+    Parent levels are reused verbatim for cells outside the edit cone
+    (their transitive fanin is unchanged, so their structural depth
+    is too); only cells at or downstream of the edit frontier —
+    *cone_cells*, the combinational fanout cone of the touched cells —
+    are recomputed, in the child's topo order.  Identical to running
+    :func:`levelize_cells` on the child from scratch.
+    """
+    n_cells = len(child_cc.cell_kinds)
+    levels = list(parent_cc.cell_levels)
+    levels.extend([0] * (n_cells - len(levels)))
+    if not cone_cells:
+        return levels
+    # Driver of each combinational-cell output net, for on-demand net
+    # levels: a net is level 0 at a source (PI, ff output, undriven)
+    # and driver level + 1 otherwise — the same arithmetic the full
+    # pass applies, evaluated only where the cone reads it.
+    driver: Dict[int, int] = {}
+    cell_is_seq = child_cc.cell_is_seq
+    for ci, outs in enumerate(child_cc.cell_outputs):
+        if not cell_is_seq[ci]:
+            for out in outs:
+                driver[out] = ci
+    cell_inputs = child_cc.cell_inputs
+    for ci in child_cc.topo:
+        if ci not in cone_cells:
+            continue
+        lvl = 0
+        for n in cell_inputs[ci]:
+            drv = driver.get(n)
+            if drv is not None and levels[drv] + 1 > lvl:
+                lvl = levels[drv] + 1
+        levels[ci] = lvl
+    return levels
+
+
 @dataclass(frozen=True)
 class CellGroup:
     """Cells sharing (level, kind, arity, per-output delays).
@@ -399,7 +441,7 @@ def level_groups(cc: "CompiledCircuit") -> Tuple[CellGroup, ...]:
 
 
 def _level_groups(cc: "CompiledCircuit") -> Tuple[CellGroup, ...]:
-    cell_level = levelize_cells(cc)
+    cell_level = cc.cell_levels
     buckets: Dict[tuple, List[int]] = {}
     for ci in cc.topo:
         delays = (

@@ -732,6 +732,18 @@ class CompiledCircuit:
         return codegen.build_density_pass(self)
 
     @cached_property
+    def cell_levels(self):
+        """Per-cell structural levels (:func:`repro.netlist.codegen.levelize_cells`).
+
+        Delta-compiled snapshots pre-seed this by splicing the parent's
+        levels and recomputing only at/downstream of the edit frontier
+        (:func:`repro.netlist.codegen.levelize_cells_delta`).
+        """
+        from repro.netlist import codegen
+
+        return codegen.levelize_cells(self)
+
+    @cached_property
     def cell_groups(self):
         """Levelized vectorization groups (:func:`repro.netlist.codegen.level_groups`)."""
         from repro.netlist import codegen
@@ -875,6 +887,7 @@ def compile_circuit(
         circuit=getattr(circuit, "name", "?"),
         delay=key is not None,
     ):
+        obs.inc("compile.full")
         compiled = _build(circuit, delay_model)
     per_circuit[key] = compiled
     per_circuit.move_to_end(key)
@@ -1039,3 +1052,227 @@ def _build(
         out_specs=None if out_specs is None else tuple(out_specs),
         max_delay=max_delay,
     )
+
+
+# ---------------------------------------------------------------------------
+# Delta compilation: patch the parent snapshot instead of rebuilding
+# ---------------------------------------------------------------------------
+
+def compile_delta(
+    parent: "Circuit",
+    delta,
+    child: "Circuit",
+    delay_model: "DelayModel | None" = None,
+) -> CompiledCircuit:
+    """Compile *child* by patching *parent*'s compiled snapshot.
+
+    *delta* is the :class:`~repro.netlist.delta.CircuitDelta` from
+    *parent* to *child* (which must be index-aligned with the parent —
+    the shape :meth:`CircuitDelta.apply` produces).  Fused kernels are
+    reused for every untouched parent cell, the topological order is
+    spliced (only the combinational fanout cone of the touched cells
+    is re-sorted), and the structural levelization is recomputed only
+    at/downstream of the edit frontier.  The result is inserted into
+    the ordinary ``(Circuit, DelayModel)`` memo, so later
+    :func:`compile_circuit` calls on *child* hit it.
+
+    Bit-identical to a from-scratch :func:`_build` — the property
+    suite pins evaluation, probability and density behaviour.  When
+    the delta is not pure-additive (indices shifted) or does not match
+    *parent*, this transparently falls back to :func:`compile_circuit`.
+    """
+    key: Hashable = None if delay_model is None else delay_model.cache_token()
+    per_circuit = _CACHE.get(child)
+    if per_circuit is not None:
+        cached = per_circuit.get(key)
+        if cached is not None and cached.version == child.version:
+            per_circuit.move_to_end(key)
+            return cached
+    if (
+        not delta.is_pure_addition
+        or len(parent.nets) != delta.parent_n_nets
+        or len(parent.cells) != delta.parent_n_cells
+        or parent.fingerprint() != delta.parent_fingerprint
+    ):
+        obs.inc("compile.delta_fallback")
+        return compile_circuit(child, delay_model)
+    parent_cc = compile_circuit(parent, delay_model)
+    with obs.span(
+        "compile.delta",
+        circuit=getattr(child, "name", "?"),
+        delay=key is not None,
+        touched=len(delta.touched_cells),
+    ):
+        obs.inc("compile.delta")
+        compiled = _build_delta(parent_cc, delta, child, delay_model)
+    if per_circuit is None:
+        per_circuit = _CACHE[child] = OrderedDict()
+    elif per_circuit and next(
+        iter(per_circuit.values())
+    ).version != child.version:
+        per_circuit.clear()
+    per_circuit[key] = compiled
+    per_circuit.move_to_end(key)
+    while len(per_circuit) > MEMO_DELAY_MODELS:
+        per_circuit.popitem(last=False)
+    return compiled
+
+
+def _cone_topo(child: "Circuit", cone) -> List[int]:
+    """Kahn sub-sort of the (combinational) cone cells of *child*."""
+    cells = child.cells
+    nets = child.nets
+    indeg: Dict[int, int] = {}
+    ready: List[int] = []
+    for ci in cone:
+        deg = 0
+        for n in cells[ci].inputs:
+            drv = nets[n].driver
+            if drv is not None and drv[0] in cone:
+                deg += 1
+        indeg[ci] = deg
+        if deg == 0:
+            ready.append(ci)
+    order: List[int] = []
+    while ready:
+        ci = ready.pop()
+        order.append(ci)
+        for out in cells[ci].outputs:
+            for reader in nets[out].fanout:
+                deg = indeg.get(reader)
+                if deg is not None:
+                    indeg[reader] = deg - 1
+                    if deg == 1:
+                        ready.append(reader)
+    if len(order) != len(cone):
+        raise ValueError(
+            f"combinational cycle through the edit cone of {child.name!r}"
+        )
+    return order
+
+
+def _build_delta(
+    parent_cc: CompiledCircuit,
+    delta,
+    child: "Circuit",
+    delay_model: "DelayModel | None",
+) -> CompiledCircuit:
+    from repro.netlist import codegen
+    from repro.netlist.delta import comb_fanout_cone
+
+    touched_names = delta.touched_cells
+    parent_n_cells = delta.parent_n_cells
+    cells = child.cells
+    nets = child.nets
+
+    cell_kinds = []
+    cell_inputs = []
+    cell_outputs = []
+    cell_eval = []
+    cell_eval_fused = []
+    cell_eval_bits = []
+    cell_is_seq = []
+    reused: List[bool] = []
+    touched_idx: List[int] = []
+    ff_cells: List[int] = []
+    ff_d: List[int] = []
+    ff_q: List[int] = []
+    out_specs: List[Tuple[Tuple[int, int], ...]] | None = (
+        None if delay_model is None else []
+    )
+    max_delay = 0
+    parent_fused = parent_cc.cell_eval_fused
+    parent_bits = parent_cc.cell_eval_bits
+    for cell in cells:
+        ci = cell.index
+        reuse = ci < parent_n_cells and cell.name not in touched_names
+        reused.append(reuse)
+        cell_kinds.append(cell.kind)
+        cell_inputs.append(cell.inputs)
+        cell_outputs.append(cell.outputs)
+        cell_eval.append(_EVALUATORS[cell.kind])
+        if reuse:
+            # Index alignment makes the parent's closures (which
+            # captured net indices) valid verbatim in the child.
+            cell_eval_fused.append(parent_fused[ci])
+            cell_eval_bits.append(parent_bits[ci])
+        else:
+            touched_idx.append(ci)
+            cell_eval_fused.append(_fuse_cell(cell.kind, cell.inputs))
+            cell_eval_bits.append(_fuse_bits(cell.kind, cell.inputs))
+        seq = cell.is_sequential
+        cell_is_seq.append(seq)
+        if seq:
+            ff_cells.append(ci)
+            ff_d.append(cell.inputs[0])
+            ff_q.append(cell.outputs[0])
+            if out_specs is not None:
+                out_specs.append(((cell.outputs[0], 0),))
+        elif out_specs is not None:
+            # Delays are re-resolved for every cell, not spliced: a
+            # load-dependent model may change an untouched cell's
+            # delay when its fanout gained a reader.
+            spec = tuple(
+                (out, delay_model.delay(cell, pos))
+                for pos, out in enumerate(cell.outputs)
+            )
+            out_specs.append(spec)
+            for _, d in spec:
+                if d > max_delay:
+                    max_delay = d
+
+    cone = comb_fanout_cone(child, touched_idx)
+    if cone:
+        prefix = [ci for ci in parent_cc.topo if ci not in cone]
+        topo = tuple(prefix + _cone_topo(child, cone))
+    else:
+        topo = parent_cc.topo
+
+    compiled = CompiledCircuit(
+        name=child.name,
+        version=child.version,
+        n_nets=len(nets),
+        inputs=tuple(child.inputs),
+        input_set=frozenset(child.inputs),
+        outputs=tuple(child.outputs),
+        driven=tuple(net.driver is not None for net in nets),
+        cell_kinds=tuple(cell_kinds),
+        cell_inputs=tuple(cell_inputs),
+        cell_outputs=tuple(cell_outputs),
+        cell_eval=tuple(cell_eval),
+        cell_eval_fused=tuple(cell_eval_fused),
+        cell_eval_bits=tuple(cell_eval_bits),
+        cell_is_seq=tuple(cell_is_seq),
+        comb_fanout=tuple(
+            tuple(ci for ci in net.fanout if not cell_is_seq[ci])
+            for net in nets
+        ),
+        topo=topo,
+        ff_cells=tuple(ff_cells),
+        ff_d=tuple(ff_d),
+        ff_q=tuple(ff_q),
+        out_specs=None if out_specs is None else tuple(out_specs),
+        max_delay=max_delay,
+    )
+    # Pre-seed the lazy tables that splice cheaply.  Levelization only
+    # recomputes the cone; the estimator kernel tables reuse parent
+    # closures for untouched cells, but only when the parent has (or
+    # will plausibly need) them — sim-only snapshots never pay.
+    compiled.__dict__["cell_levels"] = codegen.levelize_cells_delta(
+        parent_cc, compiled, cone
+    )
+    if delay_model is None or "cell_prob" in parent_cc.__dict__:
+        parent_prob = parent_cc.cell_prob
+        compiled.__dict__["cell_prob"] = tuple(
+            parent_prob[ci] if reused[ci]
+            else _fuse_prob(cell_kinds[ci], cell_inputs[ci])
+            for ci in range(len(cells))
+        )
+    if delay_model is None or "cell_density" in parent_cc.__dict__:
+        parent_density = parent_cc.cell_density
+        compiled.__dict__["cell_density"] = tuple(
+            parent_density[ci] if reused[ci]
+            else _fuse_density(cell_kinds[ci], cell_inputs[ci])
+            for ci in range(len(cells))
+        )
+    return compiled

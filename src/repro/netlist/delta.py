@@ -1,0 +1,372 @@
+"""First-class circuit edit deltas: what a transform changed, by name.
+
+A :class:`CircuitDelta` records the structural difference between a
+parent :class:`~repro.netlist.circuit.Circuit` and a transformed child
+— cells added / removed / rewired, nets added / removed — in purely
+*name-based* records, the same canonical identity the fingerprints use
+(:func:`repro.netlist.compiled.circuit_fingerprint`).  Two consumers
+build on it:
+
+* :meth:`CircuitDelta.apply` replays the delta onto the parent and
+  reconstructs the child **index-aligned**: parent nets and cells keep
+  their parent indices (for pure-additive deltas), additions append at
+  the end.  The replayed circuit is fingerprint-identical to the
+  transform-built child (the property suite pins this), which makes it
+  the canonical candidate object downstream — compiled-form patching
+  (:func:`repro.netlist.compiled.compile_delta`) and cone-limited
+  re-estimation (:mod:`repro.estimate`) splice parent arrays by index
+  and rely on this alignment.
+* The fanout-cone helpers bound *what can have changed*: every net
+  outside the transitive fanout cone of the touched cells has an
+  identical transitive fanin in parent and child, so any per-net
+  analysis result (probability, density, arrival, simulated counts)
+  is provably identical there and can be reused from the parent.
+
+A delta is **pure-additive** (:attr:`CircuitDelta.is_pure_addition`)
+when nothing was removed; rewired pins are fine.  Balancing and
+retiming-from-combinational produce pure-additive deltas; the removal
+passes (cleanup, buffer stripping, retiming circuits that already hold
+registers) do not, and their consumers fall back to whole-circuit
+recompilation — the pre-existing ``_rebuild`` path stays correct for
+every edit, deltas only accelerate the common local ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.netlist.cells import Cell, CellKind
+from repro.netlist.circuit import Circuit
+
+__all__ = [
+    "CellRecord",
+    "CircuitDelta",
+    "comb_fanout_cone",
+    "cone_net_indices",
+    "diff_circuits",
+    "full_fanout_cone",
+    "touched_cell_indices",
+]
+
+#: One cell, canonically: (name, kind value, input net names, output
+#: net names, delay hint).  Matches what the circuit fingerprint hashes
+#: plus the delay hint (which the fingerprint ignores but rebuilding
+#: must preserve).
+CellRecord = Tuple[
+    str, str, Tuple[str, ...], Tuple[str, ...], Optional[Tuple[int, ...]]
+]
+
+
+def _cell_record(circuit: Circuit, cell: Cell) -> CellRecord:
+    nets = circuit.nets
+    return (
+        cell.name,
+        cell.kind.value,
+        tuple(nets[n].name for n in cell.inputs),
+        tuple(nets[n].name for n in cell.outputs),
+        cell.delay_hint,
+    )
+
+
+@dataclass(frozen=True)
+class CircuitDelta:
+    """The edit taking one parent circuit to one child circuit."""
+
+    parent_fingerprint: str
+    parent_n_nets: int
+    parent_n_cells: int
+    child_name: str
+    #: Parent net / cell names absent from the child.
+    removed_nets: Tuple[str, ...]
+    removed_cells: Tuple[str, ...]
+    #: Child-only nets, in child creation order.
+    added_nets: Tuple[str, ...]
+    #: Child-only cells, in child creation order.
+    added_cells: Tuple[CellRecord, ...]
+    #: Cells present in both whose record (kind, pins, hint) changed.
+    rewired_cells: Tuple[CellRecord, ...]
+    #: Child primary-input net names, in port order.
+    inputs: Tuple[str, ...]
+    #: Child primary-output net names, in port order.
+    outputs: Tuple[str, ...]
+    #: Child name aliases: (alias, canonical net name).  Transforms do
+    #: not create aliases today; recorded for external edits.
+    aliases: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def is_pure_addition(self) -> bool:
+        """No removals: replay preserves every parent net/cell index."""
+        return not self.removed_nets and not self.removed_cells
+
+    @property
+    def is_identity(self) -> bool:
+        """Nothing changed structurally (ports may still differ)."""
+        return (
+            not self.removed_nets
+            and not self.removed_cells
+            and not self.added_nets
+            and not self.added_cells
+            and not self.rewired_cells
+        )
+
+    @property
+    def touched_cells(self) -> FrozenSet[str]:
+        """Names of cells whose pins or kind differ from the parent."""
+        return frozenset(
+            rec[0] for rec in self.rewired_cells + self.added_cells
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, parent: Circuit) -> Circuit:
+        """Replay this delta onto *parent*, reconstructing the child.
+
+        The result is fingerprint-identical to the circuit the delta
+        was diffed from.  For pure-additive deltas the replay is also
+        **index-preserving**: parent net *k* is child net *k* and
+        parent cell *k* is child cell *k*, with additions appended —
+        the alignment every incremental consumer splices on.
+
+        Raises ``ValueError`` if *parent* does not match the recorded
+        parent fingerprint.
+        """
+        if parent.fingerprint() != self.parent_fingerprint:
+            raise ValueError(
+                f"delta was taken against a different parent "
+                f"(fingerprint mismatch for {parent.name!r})"
+            )
+        removed_nets = set(self.removed_nets)
+        removed_cells = set(self.removed_cells)
+        rewired = {rec[0]: rec for rec in self.rewired_cells}
+
+        child = Circuit(self.child_name)
+        for net in parent.nets:
+            if net.name not in removed_nets:
+                child.new_net(net.name)
+        for name in self.added_nets:
+            child.new_net(name)
+        for name in self.inputs:
+            child.inputs.append(child.net(name))
+
+        pure = self.is_pure_addition
+        parent_nets = parent.nets
+        for cell in parent.cells:
+            if cell.name in removed_cells:
+                continue
+            rec = rewired.get(cell.name)
+            if rec is None:
+                if pure:
+                    # Index-preserving fast path: net indices coincide.
+                    ins: List[int] = list(cell.inputs)
+                    outs: List[int] = list(cell.outputs)
+                else:
+                    ins = [
+                        child.net(parent_nets[n].name) for n in cell.inputs
+                    ]
+                    outs = [
+                        child.net(parent_nets[n].name) for n in cell.outputs
+                    ]
+                child.add_cell(
+                    cell.kind, ins, outs,
+                    name=cell.name, delay_hint=cell.delay_hint,
+                )
+            else:
+                _, kind_value, in_names, out_names, hint = rec
+                child.add_cell(
+                    CellKind(kind_value),
+                    [child.net(n) for n in in_names],
+                    [child.net(n) for n in out_names],
+                    name=cell.name, delay_hint=hint,
+                )
+        for name, kind_value, in_names, out_names, hint in self.added_cells:
+            child.add_cell(
+                CellKind(kind_value),
+                [child.net(n) for n in in_names],
+                [child.net(n) for n in out_names],
+                name=name, delay_hint=hint,
+            )
+        for name in self.outputs:
+            child.mark_output(child.net(name))
+        for alias, target in self.aliases:
+            if alias not in child._net_by_name:
+                child._net_by_name[alias] = child.net(target)
+        return child
+
+
+def diff_circuits(parent: Circuit, child: Circuit) -> CircuitDelta:
+    """The name-based structural delta taking *parent* to *child*.
+
+    A post-hoc diff over canonical cell records — O(nets + cells) and
+    independent of how the transform built the child, so every
+    transform (and any external edit) gets a correct delta for free.
+    """
+    parent_net_names = {net.name for net in parent.nets}
+    child_net_names = {net.name for net in child.nets}
+    parent_cells: Dict[str, CellRecord] = {
+        cell.name: _cell_record(parent, cell) for cell in parent.cells
+    }
+    child_cell_names = {cell.name for cell in child.cells}
+
+    added_cells: List[CellRecord] = []
+    rewired_cells: List[CellRecord] = []
+    for cell in child.cells:
+        rec = _cell_record(child, cell)
+        old = parent_cells.get(cell.name)
+        if old is None:
+            added_cells.append(rec)
+        elif rec != old:
+            rewired_cells.append(rec)
+
+    return CircuitDelta(
+        parent_fingerprint=parent.fingerprint(),
+        parent_n_nets=len(parent.nets),
+        parent_n_cells=len(parent.cells),
+        child_name=child.name,
+        removed_nets=tuple(
+            net.name for net in parent.nets
+            if net.name not in child_net_names
+        ),
+        removed_cells=tuple(
+            cell.name for cell in parent.cells
+            if cell.name not in child_cell_names
+        ),
+        added_nets=tuple(
+            net.name for net in child.nets
+            if net.name not in parent_net_names
+        ),
+        added_cells=tuple(added_cells),
+        rewired_cells=tuple(rewired_cells),
+        inputs=tuple(child.net_name(n) for n in child.inputs),
+        outputs=tuple(child.net_name(n) for n in child.outputs),
+        aliases=tuple(_alias_pairs(child)),
+    )
+
+
+def _alias_pairs(circuit: Circuit) -> List[Tuple[str, str]]:
+    """(alias, canonical name) entries of a circuit's name table."""
+    nets = circuit.nets
+    return [
+        (alias, nets[idx].name)
+        for alias, idx in circuit._net_by_name.items()
+        if nets[idx].name != alias
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fanout cones: the reach of an edit
+# ---------------------------------------------------------------------------
+
+def touched_cell_indices(child: Circuit, delta: CircuitDelta) -> List[int]:
+    """Indices (in *child*) of the delta's rewired and added cells."""
+    return sorted(child.cell(name).index for name in delta.touched_cells)
+
+
+def comb_fanout_cone(
+    child: Circuit, seed_cells: Iterable[int]
+) -> FrozenSet[int]:
+    """Transitive combinational fanout closure of *seed_cells*.
+
+    Registers cut the propagation (their outputs switch at the clock
+    edge regardless of input timing) — the cone that bounds what the
+    topological order, levelization and transition-instant analysis
+    must recompute.  Sequential seed cells are excluded.
+    """
+    cone: set[int] = set()
+    cells = child.cells
+    nets = child.nets
+    work = [ci for ci in seed_cells if not cells[ci].is_sequential]
+    while work:
+        ci = work.pop()
+        if ci in cone:
+            continue
+        cone.add(ci)
+        for out in cells[ci].outputs:
+            for reader in nets[out].fanout:
+                if reader not in cone and not cells[reader].is_sequential:
+                    work.append(reader)
+    return frozenset(cone)
+
+
+def full_fanout_cone(
+    child: Circuit, seed_cells: Iterable[int]
+) -> FrozenSet[int]:
+    """Transitive fanout closure through *all* cells, registers included.
+
+    A register whose D input lies in the cone carries the change to
+    its Q output, so value-level analyses (probabilities, densities,
+    simulated waveforms) must treat its downstream as changed too —
+    this is the cone that bounds per-net *value* reuse.
+    """
+    cone: set[int] = set()
+    cells = child.cells
+    nets = child.nets
+    work = list(seed_cells)
+    while work:
+        ci = work.pop()
+        if ci in cone:
+            continue
+        cone.add(ci)
+        for out in cells[ci].outputs:
+            for reader in nets[out].fanout:
+                if reader not in cone:
+                    work.append(reader)
+    return frozenset(cone)
+
+
+def timing_cone_seeds(
+    parent: Circuit, child: Circuit, delta: CircuitDelta
+) -> List[int]:
+    """Seed cells for *timing* cones: touched cells + disturbed drivers.
+
+    Value analyses (compile, probability, density) only need the
+    touched cells as cone seeds — a cell whose pins did not change
+    computes the same function.  Timing analyses (arrival levels,
+    transition instants) additionally depend on the delay model, and a
+    *load-dependent* model can re-time an untouched cell when one of
+    its output nets gains or loses a reader.  So the timing seed set
+    widens to the drivers of every fanout-changed net: nets read by
+    added cells, plus the old and new input pins of rewired cells.
+
+    *delta* must be pure-additive and *child* its index-aligned replay
+    of *parent* — old parent pin indices are then valid child indices.
+    Sequential drivers are skipped (register outputs pin to the clock
+    edge under every delay model).
+    """
+    if not delta.is_pure_addition:
+        raise ValueError("timing_cone_seeds requires a pure-additive delta")
+    changed_nets: set[int] = set()
+    for record in delta.added_cells:
+        for pin in record[2]:
+            changed_nets.add(child.net(pin))
+    for record in delta.rewired_cells:
+        for pin in record[2]:
+            changed_nets.add(child.net(pin))
+        changed_nets.update(parent.cell(record[0]).inputs)
+    seeds = set(touched_cell_indices(child, delta))
+    cells = child.cells
+    for n in changed_nets:
+        drv = child.nets[n].driver
+        if drv is not None and not cells[drv[0]].is_sequential:
+            seeds.add(drv[0])
+    return sorted(seeds)
+
+
+def cone_net_indices(
+    child: Circuit,
+    cone_cells: Iterable[int],
+    delta: CircuitDelta | None = None,
+) -> FrozenSet[int]:
+    """Net indices whose value may differ from the parent's.
+
+    Outputs of every cone cell, plus (with *delta*) the added nets —
+    an added net with no driver still did not exist in the parent, so
+    nothing can be reused for it.
+    """
+    nets: set[int] = set()
+    cells = child.cells
+    for ci in cone_cells:
+        nets.update(cells[ci].outputs)
+    if delta is not None:
+        for name in delta.added_nets:
+            nets.add(child.net(name))
+    return frozenset(nets)

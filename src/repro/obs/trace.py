@@ -49,6 +49,7 @@ __all__ = [
     "enabled",
     "events_from_chrome",
     "format_tree",
+    "gauge",
     "inc",
     "instant",
     "span",
@@ -327,6 +328,13 @@ def inc(name: str, n: int = 1) -> None:
     rec = active()
     if rec is not None:
         rec.metrics.inc(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a last-value-wins gauge; no-op when tracing is off."""
+    rec = active()
+    if rec is not None:
+        rec.metrics.gauge(name, value)
 
 
 def warn_event(warning: Warning, *, stacklevel: int = 2, **attrs: Any) -> None:
