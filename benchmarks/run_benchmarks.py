@@ -36,6 +36,11 @@ import tempfile
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.ledger import compare_snapshots  # noqa: E402
+
 BENCHES = [
     Path(__file__).resolve().parent / "bench_sim_throughput.py",
     Path(__file__).resolve().parent / "bench_estimate_throughput.py",
@@ -216,28 +221,10 @@ def normalize(data: dict) -> dict:
     }
 
 
-def compare(
-    reference: dict, current: dict, threshold: float
-) -> list[str]:
-    """Workloads whose median regressed by more than *threshold*.
-
-    Only keys present in both files are compared — new workloads gate
-    nothing, removed ones just stop being checked.
-    """
-    regressions = []
-    ref_results = reference.get("results", {})
-    for key, entry in current.get("results", {}).items():
-        ref = ref_results.get(key)
-        if ref is None or not ref.get("median_s"):
-            continue
-        ratio = entry["median_s"] / ref["median_s"]
-        if ratio > 1.0 + threshold:
-            regressions.append(
-                f"{key}: {ref['median_s'] * 1000:.3f} ms -> "
-                f"{entry['median_s'] * 1000:.3f} ms "
-                f"({(ratio - 1) * 100:+.1f}%)"
-            )
-    return regressions
+# The regression gate lives in repro.obs.ledger now (shared with
+# ``repro bench report --diff``); this alias keeps the historical
+# entry point for callers of run_benchmarks.compare.
+compare = compare_snapshots
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -467,7 +467,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                   f"{len(hits)} cached, {len(misses)} to simulate",
         ))
         return 0
-    report = scheduler.run(spec)
+    report = scheduler.run(spec, heartbeat_s=args.heartbeat)
     rows = [
         [
             o.point.label(), o.status, o.summary["total"],
@@ -778,6 +778,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Render or diff the committed perf-trajectory ledger."""
+    from repro.obs.ledger import (
+        compare_snapshots,
+        format_diff,
+        format_ledger,
+        load_snapshot,
+        validate_snapshot,
+    )
+
+    def _load(path: str):
+        try:
+            doc = load_snapshot(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read ledger {path}: {exc}")
+        errors = validate_snapshot(doc)
+        if errors:
+            for err in errors[:20]:
+                print(err)
+            raise SystemExit(
+                f"{path}: not a bench snapshot ({len(errors)} error(s))"
+            )
+        return doc
+
+    current = _load(args.file)
+    if args.diff is None:
+        print(format_ledger(current))
+        return 0
+    reference = _load(args.diff)
+    print(format_diff(reference, current, threshold=args.threshold))
+    regressions = compare_snapshots(reference, current, args.threshold)
+    return 1 if regressions else 0
+
+
 def cmd_balance(args: argparse.Namespace) -> int:
     from repro.experiments.balance import (
         balancing_vs_retiming_experiment,
@@ -793,7 +827,7 @@ def cmd_balance(args: argparse.Namespace) -> int:
 
 
 def _obs_options(p: argparse.ArgumentParser) -> None:
-    """``--trace`` / ``--metrics`` flags shared by the run commands."""
+    """Observability flags shared by the run commands."""
     p.add_argument(
         "--trace", default=None, metavar="PATH",
         help=(
@@ -805,7 +839,25 @@ def _obs_options(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--metrics", action="store_true",
-        help="print the run's counter snapshot (cache, pool, sim) on exit",
+        help=(
+            "print the run's counters, gauges and latency histograms "
+            "(cache, pool, sim, store) on exit"
+        ),
+    )
+    p.add_argument(
+        "--log", default=None, metavar="PATH",
+        help=(
+            "append every span/instant as one JSON line to PATH, "
+            "correlated by a per-run run_id that workers inherit; "
+            "greppable while the run is still going"
+        ),
+    )
+    p.add_argument(
+        "--sample", type=float, default=None, metavar="HZ",
+        help=(
+            "sample RSS/CPU/GC/pool-queue-depth HZ times per second "
+            "into the trace as Chrome counter tracks"
+        ),
     )
 
 
@@ -965,6 +1017,14 @@ def make_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="show the hit/miss plan without simulating",
     )
+    p.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help=(
+            "print a progress line (done/total, warm-hit ratio, "
+            "p50/p99 task latency, ETA) to stderr at most every "
+            "SECONDS; 0 prints on every resolved point"
+        ),
+    )
     _obs_options(p)
     p.set_defaults(func=cmd_submit)
 
@@ -981,6 +1041,32 @@ def make_parser() -> argparse.ArgumentParser:
         help="fold spans shorter than MS out of the tree",
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="inspect or diff the committed perf-trajectory ledger",
+    )
+    p.add_argument(
+        "action", choices=["report"],
+        help="'report' renders the ledger (or diffs it with --diff)",
+    )
+    p.add_argument(
+        "--file", default="BENCH_sim.json", metavar="PATH",
+        help="ledger snapshot to read (default BENCH_sim.json)",
+    )
+    p.add_argument(
+        "--diff", default=None, metavar="REFERENCE.json",
+        help=(
+            "diff against a reference snapshot and exit non-zero on "
+            "any regression past --threshold (same gate as "
+            "run_benchmarks.py --compare)"
+        ),
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed median regression fraction (default 0.25)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("status", help="list batch jobs recorded in a store")
     p.add_argument("--cache", required=True, metavar="DIR")
@@ -1112,6 +1198,9 @@ def _finish_observed(args: argparse.Namespace, rec) -> None:
     if trace_path:
         obs.write_chrome_trace(trace_path, rec.events)
         print(f"[trace] {len(rec.events)} event(s) -> {trace_path}")
+    log_path = getattr(args, "log", None)
+    if log_path:
+        print(f"[log] events appended to {log_path}")
     if getattr(args, "metrics", False):
         table = rec.metrics.format_table()
         if table:
@@ -1132,14 +1221,35 @@ def _finish_observed(args: argparse.Namespace, rec) -> None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+    observed = (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "log", None)
+        or getattr(args, "sample", None) is not None
+    )
+    if observed:
         from repro.obs import trace as obs
+        from repro.obs.sampler import ResourceSampler
 
         rec = obs.enable()
+        log_path = getattr(args, "log", None)
+        if log_path:
+            from repro.obs import log as obs_log
+
+            obs_log.enable(log_path)
+        sample_hz = getattr(args, "sample", None)
+        sampler = None
+        if sample_hz is not None and sample_hz > 0:
+            sampler = ResourceSampler(
+                interval_s=1.0 / sample_hz, recorder=rec
+            )
+            sampler.start()
         try:
             return args.func(args)
         finally:
-            obs.disable()
+            if sampler is not None:
+                sampler.stop()
+            obs.disable()  # also closes the event log, if armed
             _finish_observed(args, rec)
     return args.func(args)
 

@@ -29,6 +29,7 @@ trustworthy (see the README's estimation-gap guidance).
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
@@ -340,10 +341,12 @@ def _make_candidate(
     context: CostContext,
 ) -> Candidate:
     label = describe_chain(chain)
+    ct0 = time.perf_counter()
     with obs.span("explore.candidate", label=label):
         est = estimated_cost(
             circuit, delay_model, stimulus, context, latency
         )
+    obs.hist("explore.candidate_s", time.perf_counter() - ct0)
     obs.inc("explore.candidates")
     feasible = True
     if space.max_area_mm2 is not None and est.area_mm2 > space.max_area_mm2:
@@ -405,6 +408,7 @@ def _make_candidate_full(
     :func:`estimated_cost_from`).
     """
     label = describe_chain(chain)
+    ct0 = time.perf_counter()
     with obs.span("explore.candidate", label=label):
         snapshot = workload_snapshot(circuit, stimulus)
         instant_sets = transition_instant_sets(circuit, delay_model)
@@ -416,6 +420,7 @@ def _make_candidate_full(
             circuit, context, latency, snapshot.result, counts,
             period_from_arrivals(circuit, arrivals),
         )
+    obs.hist("explore.candidate_s", time.perf_counter() - ct0)
     obs.inc("explore.candidates")
     return Candidate(
         chain=chain,
@@ -453,6 +458,7 @@ def _make_candidate_delta(
     """
     state = parent.state
     label = describe_chain(chain)
+    ct0 = time.perf_counter()
     with obs.span("explore.candidate_delta", label=label):
         cc = compile_delta(parent.circuit, delta, replayed)
         value_cone = full_fanout_cone(
@@ -476,6 +482,7 @@ def _make_candidate_delta(
             replayed, context, latency, snapshot.result, counts,
             period_from_arrivals(replayed, arrivals),
         )
+    obs.hist("explore.candidate_s", time.perf_counter() - ct0)
     obs.inc("explore.candidates")
     return Candidate(
         chain=chain,

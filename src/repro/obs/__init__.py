@@ -1,17 +1,26 @@
-"""repro.obs — observability: spans, metrics, and run manifests.
+"""repro.obs — observability: spans, metrics, histograms, manifests.
 
 Instrumentation hooks (:func:`span`, :func:`instant`, :func:`inc`,
-:func:`warn_event`) are safe to call unconditionally from every layer:
-while tracing is disabled they cost one global load and return the
-shared null span.  Arm tracing with :func:`enable` (or the CLI's
-``--trace`` / ``--metrics`` flags, or ``REPRO_TRACE=1`` in the
-environment — workers adopt it automatically, mirroring
-``REPRO_FAULTS``), then export the buffer as Chrome-trace JSON
-(:func:`write_chrome_trace`), a human tree (:func:`format_tree`), or a
-per-run manifest (:func:`build_manifest`).
+:func:`gauge`, :func:`hist`, :func:`warn_event`) are safe to call
+unconditionally from every layer: while tracing is disabled they cost
+one global load and return the shared null span.  Arm tracing with
+:func:`enable` (or the CLI's ``--trace`` / ``--metrics`` flags, or
+``REPRO_TRACE=1`` in the environment — workers adopt it automatically,
+mirroring ``REPRO_FAULTS``), then export the buffer as Chrome-trace
+JSON (:func:`write_chrome_trace`), a human tree (:func:`format_tree`),
+or a per-run manifest (:func:`build_manifest`).
+
+Beyond spans and counters: :class:`Histogram` latency distributions
+merge exactly across the worker pool; :mod:`repro.obs.log` correlates
+every event to a per-run ``run_id`` in a JSONL file; the
+:class:`ResourceSampler` records RSS/CPU/GC/queue-depth counter tracks
+into the trace; :mod:`repro.obs.ledger` renders and diffs the
+committed perf trajectory.
 """
 
+from repro.obs.hist import Histogram
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import ResourceSampler, register_probe, unregister_probe
 from repro.obs.trace import (
     ENV_VAR,
     NULL_SPAN,
@@ -24,8 +33,11 @@ from repro.obs.trace import (
     enable,
     enabled,
     format_tree,
+    gauge,
+    hist,
     inc,
     instant,
+    set_event_sink,
     span,
     validate_chrome_trace,
     warn_event,
@@ -41,9 +53,11 @@ from repro.obs.manifest import (
 
 __all__ = [
     "ENV_VAR",
+    "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "Recorder",
+    "ResourceSampler",
     "TRACE_SCHEMA",
     "active",
     "build_manifest",
@@ -54,11 +68,16 @@ __all__ = [
     "enabled",
     "environment",
     "format_tree",
+    "gauge",
+    "hist",
     "inc",
     "instant",
     "phase_times",
+    "register_probe",
+    "set_event_sink",
     "span",
     "span_coverage",
+    "unregister_probe",
     "validate_chrome_trace",
     "warn_event",
     "write_chrome_trace",

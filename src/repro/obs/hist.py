@@ -1,0 +1,178 @@
+"""Log-bucketed latency histograms for the metrics registry.
+
+A :class:`Histogram` keeps exact ``count`` / ``sum`` / ``min`` / ``max``
+plus a sparse map of logarithmic buckets: each power of two is split
+into :data:`SUBBUCKETS` sub-buckets, so every bucket spans a constant
+*relative* width of ``2 ** (1 / SUBBUCKETS)`` (~9%).  That makes one
+histogram cover nanoseconds to hours in a few dozen occupied buckets
+while :meth:`percentile` stays within one bucket of the true
+sorted-data percentile.
+
+Merging is bucket-wise addition — exact, associative and commutative —
+so worker registries fold into the supervisor's in any arrival order
+(the property tests in ``tests/test_obs_hist.py`` pin this).  Zero
+values get a dedicated bucket (log of zero is not a bucket index) and
+negative observations are rejected: every recorded series is a
+duration, size or cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Histogram", "SUBBUCKETS", "bucket_bounds", "bucket_index"]
+
+#: Sub-buckets per power-of-two octave.  Relative bucket width is
+#: ``2**(1/8) - 1`` ≈ 9.05%, the worst-case percentile error.
+SUBBUCKETS = 8
+
+_LOG2_SCALE = SUBBUCKETS
+
+
+def bucket_index(value: float) -> int:
+    """Bucket index for a positive value: ``floor(log2(v) * SUBBUCKETS)``."""
+    return math.floor(math.log2(value) * _LOG2_SCALE)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` value range bucket *index* covers."""
+    return (
+        2.0 ** (index / _LOG2_SCALE),
+        2.0 ** ((index + 1) / _LOG2_SCALE),
+    )
+
+
+def _representative(index: int) -> float:
+    """Geometric midpoint of a bucket — the value :meth:`percentile` reports."""
+    return 2.0 ** ((index + 0.5) / _LOG2_SCALE)
+
+
+class Histogram:
+    """Mergeable log-bucketed distribution with exact count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zeros: int = 0
+        self.buckets: Dict[int, int] = {}
+
+    # -- recording -------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one non-negative observation."""
+        if value < 0:
+            raise ValueError(f"histogram value must be >= 0, got {value!r}")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value == 0:
+            self.zeros += 1
+            return
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    # -- merge -----------------------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* in by bucket addition (associative, commutative)."""
+        self.count += other.count
+        self.total += other.total
+        self.zeros += other.zeros
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    # -- queries ---------------------------------------------------
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Approximate p-th percentile (``p`` in [0, 100]).
+
+        Returns the geometric midpoint of the bucket holding the
+        ``ceil(count * p / 100)``-th smallest observation, clamped to
+        the exact recorded ``min`` / ``max`` — so the result is within
+        one bucket's relative width (``2**(1/SUBBUCKETS)``) of the true
+        sorted-data percentile, and exact at the extremes.
+        """
+        if not self.count:
+            return None
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        rank = min(rank, self.count)
+        if rank <= self.zeros:
+            return 0.0
+        if rank == self.count:
+            return self.max
+        if rank == 1:
+            return self.min
+        cum = self.zeros
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                rep = _representative(idx)
+                if self.min is not None:
+                    rep = max(rep, self.min)
+                if self.max is not None:
+                    rep = min(rep, self.max)
+                return rep
+        return self.max  # float-boundary stragglers land in the top bucket
+
+    def summary(self) -> Dict[str, Any]:
+        """Count plus the headline percentiles, JSON-ready."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    # -- serialization ---------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; carries headline percentiles for consumers."""
+        doc = self.summary()
+        doc["zeros"] = self.zeros
+        doc["sub"] = SUBBUCKETS
+        doc["buckets"] = [
+            [idx, self.buckets[idx]] for idx in sorted(self.buckets)
+        ]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Histogram":
+        if doc.get("sub", SUBBUCKETS) != SUBBUCKETS:
+            raise ValueError(
+                f"histogram sub-bucket mismatch: {doc.get('sub')} != {SUBBUCKETS}"
+            )
+        h = cls()
+        h.count = int(doc.get("count", 0))
+        h.total = float(doc.get("sum", 0.0))
+        h.min = doc.get("min")
+        h.max = doc.get("max")
+        h.zeros = int(doc.get("zeros", 0))
+        h.buckets = {int(idx): int(n) for idx, n in doc.get("buckets", [])}
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts: List[str] = [f"count={self.count}"]
+        if self.count:
+            parts.append(f"p50={self.percentile(50):.4g}")
+            parts.append(f"p99={self.percentile(99):.4g}")
+        return f"Histogram({', '.join(parts)})"

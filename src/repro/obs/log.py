@@ -1,0 +1,182 @@
+"""Structured JSONL event log correlated by a per-run id.
+
+Arming the log (:func:`enable`, or the CLI's ``--log FILE``) assigns the
+run a ``run_id``, exports ``REPRO_LOG`` / ``REPRO_RUN_ID`` to the
+environment — the same propagation pattern as ``REPRO_TRACE`` and
+``REPRO_FAULTS`` — and installs a sink on the trace recorder: every
+span, instant, warning, fault firing and quarantine is appended to the
+file as one JSON line the moment it is recorded, stamped with the run
+id and the emitting pid.
+
+Worker processes adopt the log lazily from the environment (see
+:func:`repro.obs.trace.adopt_in_worker`), opening their own
+append-mode handle on the same file.  Each line is a single
+``write()`` of well under ``PIPE_BUF`` bytes, so lines from concurrent
+pids interleave without tearing and ``grep <run_id> file.jsonl``
+reassembles one run across the whole pool.
+
+Line shape::
+
+    {"run_id": "...", "pid": 1234, "name": "pool.task", "ph": "X",
+     "ts": <ns since epoch>, "dur": <ns>, "sid": 7, "parent": 3,
+     "args": {...}}
+
+``sid`` / ``parent`` are per-pid span ids (see :mod:`repro.obs.trace`);
+``(run_id, pid, sid)`` uniquely names a span across the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import trace
+
+ENV_LOG = "REPRO_LOG"
+ENV_RUN_ID = "REPRO_RUN_ID"
+
+__all__ = [
+    "ENV_LOG",
+    "ENV_RUN_ID",
+    "EventLog",
+    "adopt_in_process",
+    "current_run_id",
+    "disable",
+    "enable",
+    "new_run_id",
+    "read_events",
+]
+
+
+def new_run_id() -> str:
+    """A fresh run id: wall-clock stamp plus random suffix.
+
+    Sortable by start time, unique across concurrent runs (64 random
+    bits), and short enough to grep comfortably.
+    """
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    return f"{stamp}-{os.urandom(8).hex()}"
+
+
+def current_run_id() -> Optional[str]:
+    """The armed run id (from this process or inherited env), if any."""
+    if _LOG is not None:
+        return _LOG.run_id
+    return os.environ.get(ENV_RUN_ID) or None
+
+
+class EventLog:
+    """An append-only JSONL sink bound to one run id."""
+
+    def __init__(self, path: str, run_id: str):
+        self.path = path
+        self.run_id = run_id
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+        self._pid = os.getpid()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append one recorder event as a single JSON line."""
+        line = {
+            "run_id": self.run_id,
+            "pid": event.get("pid", self._pid),
+            "name": event["name"],
+            "ph": event["ph"],
+            "ts": event["ts"],
+        }
+        if event.get("dur"):
+            line["dur"] = event["dur"]
+        if event.get("sid") is not None:
+            line["sid"] = event["sid"]
+        if event.get("parent") is not None:
+            line["parent"] = event["parent"]
+        if event.get("args"):
+            line["args"] = event["args"]
+        # One write per line: atomic interleave across pids on POSIX
+        # append-mode files (lines stay < PIPE_BUF in practice).
+        self._fh.write(json.dumps(line, default=str) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close failures are benign
+            pass
+
+
+_LOG: Optional[EventLog] = None
+
+
+def enable(
+    path: str, run_id: Optional[str] = None, *, set_env: bool = True
+) -> EventLog:
+    """Arm the event log (and tracing, which feeds it); returns the log.
+
+    With *set_env* (the default) exports ``REPRO_LOG`` and
+    ``REPRO_RUN_ID`` so pool workers adopt the same file and run id.
+    """
+    global _LOG
+    if _LOG is not None:
+        _LOG.close()
+    if run_id is None:
+        run_id = current_run_id() or new_run_id()
+    _LOG = EventLog(path, run_id)
+    if set_env:
+        os.environ[ENV_LOG] = path
+        os.environ[ENV_RUN_ID] = run_id
+    if not trace.enabled():
+        trace.enable(set_env=set_env)
+    trace.set_event_sink(_LOG.emit)
+    return _LOG
+
+
+def adopt_in_process() -> Optional[EventLog]:
+    """Open the env-announced log in this process; ``None`` if unset.
+
+    Called from :mod:`repro.obs.trace` when it arms a recorder and
+    finds ``REPRO_LOG`` exported — both in freshly spawned workers and
+    in forked ones (which must drop the inherited parent handle state
+    and open their own).
+    """
+    global _LOG
+    path = os.environ.get(ENV_LOG)
+    if not path:
+        return None
+    run_id = os.environ.get(ENV_RUN_ID) or new_run_id()
+    if (
+        _LOG is None
+        or _LOG.path != path
+        or _LOG.run_id != run_id
+        or _LOG._pid != os.getpid()  # forked child: drop inherited handle
+    ):
+        _LOG = EventLog(path, run_id)
+    trace.set_event_sink(_LOG.emit)
+    return _LOG
+
+
+def disable() -> None:
+    """Close the log, detach the sink, clear the env announcements."""
+    global _LOG
+    if _LOG is not None:
+        _LOG.close()
+        _LOG = None
+    trace.set_event_sink(None)
+    os.environ.pop(ENV_LOG, None)
+    os.environ.pop(ENV_RUN_ID, None)
+
+
+def read_events(path: str, run_id: Optional[str] = None) -> list:
+    """Parse a JSONL log back into dicts, optionally filtered by run id."""
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if run_id is None or doc.get("run_id") == run_id:
+                out.append(doc)
+    return out

@@ -12,6 +12,7 @@ of how it was produced.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import platform
@@ -126,10 +127,13 @@ def build_manifest(
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest dict for a finished traced run."""
+    from repro.obs import log as _log
+
     events = recorder.events
     manifest: Dict[str, Any] = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "command": command,
+        "run_id": _log.current_run_id(),
         "created": time.time(),
         "environment": environment(),
         "backend": backend,
@@ -156,16 +160,27 @@ def build_manifest(
     return manifest
 
 
+# Monotonic per-process sequence for manifest filenames: a second-
+# resolution stamp plus pid alone collides when one process writes two
+# manifests within the same second, silently overwriting the first.
+_SEQ = itertools.count()
+
+
 def write_manifest(directory: str, manifest: Dict[str, Any]) -> str:
     """Persist *manifest* under *directory* (atomic tmp+rename).
 
     Returns the path written.  Callers pass ``<store root>/manifests``
-    so manifests live next to the job records they describe.
+    so manifests live next to the job records they describe.  Filenames
+    are ``<command>-<stamp>-<pid>-<seq>.json``; the per-process
+    sequence keeps same-second writes distinct.
     """
     os.makedirs(directory, exist_ok=True)
     stamp = time.strftime("%Y%m%dT%H%M%S")
-    name = f"{manifest.get('command', 'run')}-{stamp}-{os.getpid()}.json"
-    path = os.path.join(directory, name)
+    base = f"{manifest.get('command', 'run')}-{stamp}-{os.getpid()}"
+    while True:
+        path = os.path.join(directory, f"{base}-{next(_SEQ):03d}.json")
+        if not os.path.exists(path):
+            break
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(manifest, fh, indent=2, sort_keys=False, default=str)

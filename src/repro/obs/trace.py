@@ -7,7 +7,15 @@ The recorder collects two kinds of events into an in-process buffer:
   :func:`span` as a context manager or closed manually with
   :meth:`Recorder.complete` around hot loops;
 * **instants** (phase ``"i"``) — point events such as a cache miss, a
-  pruned explore candidate or an injected fault firing.
+  pruned explore candidate or an injected fault firing;
+* **counter samples** (phase ``"C"``) — timestamped gauge readings from
+  :class:`repro.obs.sampler.ResourceSampler`, rendered as counter
+  tracks by the Chrome trace viewer.
+
+Every span carries a per-process span id (``sid``) and its enclosing
+span's id (``parent``); instants carry ``parent`` only.  Combined with
+the run id from :mod:`repro.obs.log`, that is enough to correlate any
+event back to the run and call tree that emitted it, across pids.
 
 Timestamps come from :func:`time.perf_counter_ns` and are re-anchored
 to the epoch at record time so events from different processes merge
@@ -27,6 +35,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 import warnings
 from typing import Any, Dict, Iterable, List, Optional
@@ -50,8 +59,10 @@ __all__ = [
     "events_from_chrome",
     "format_tree",
     "gauge",
+    "hist",
     "inc",
     "instant",
+    "set_event_sink",
     "span",
     "validate_chrome_trace",
     "warn_event",
@@ -80,7 +91,9 @@ NULL_SPAN = _NullSpan()
 class _SpanCtx:
     """A live span; records a complete event when the block exits."""
 
-    __slots__ = ("_rec", "name", "attrs", "_t0", "_cpu0", "_depth")
+    __slots__ = (
+        "_rec", "name", "attrs", "_t0", "_cpu0", "_depth", "_sid", "_parent"
+    )
 
     def __init__(self, rec: "Recorder", name: str, attrs: Dict[str, Any]):
         self._rec = rec
@@ -96,6 +109,11 @@ class _SpanCtx:
         rec = self._rec
         self._depth = rec._depth
         rec._depth = self._depth + 1
+        self._sid = rec._next_sid
+        rec._next_sid = self._sid + 1
+        stack = rec._sid_stack
+        self._parent = stack[-1] if stack else None
+        stack.append(self._sid)
         self._cpu0 = time.process_time_ns()
         self._t0 = time.perf_counter_ns()
         return self
@@ -105,20 +123,25 @@ class _SpanCtx:
         cpu1 = time.process_time_ns()
         rec = self._rec
         rec._depth = self._depth
+        if rec._sid_stack and rec._sid_stack[-1] == self._sid:
+            rec._sid_stack.pop()
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
-        rec._events.append(
-            {
-                "name": self.name,
-                "ph": "X",
-                "ts": rec._epoch_ns + (self._t0 - rec._perf0),
-                "dur": t1 - self._t0,
-                "cpu": cpu1 - self._cpu0,
-                "depth": self._depth,
-                "pid": rec.pid,
-                "args": self.attrs,
-            }
-        )
+        event = {
+            "name": self.name,
+            "ph": "X",
+            "ts": rec._epoch_ns + (self._t0 - rec._perf0),
+            "dur": t1 - self._t0,
+            "cpu": cpu1 - self._cpu0,
+            "depth": self._depth,
+            "pid": rec.pid,
+            "sid": self._sid,
+            "parent": self._parent,
+            "args": self.attrs,
+        }
+        rec._events.append(event)
+        if _SINK is not None:
+            _SINK(event)
         return False
 
 
@@ -129,6 +152,8 @@ class Recorder:
         self.pid = os.getpid()
         self._events: List[Dict[str, Any]] = []
         self._depth = 0
+        self._next_sid = 1
+        self._sid_stack: List[int] = []
         self._epoch_ns = time.time_ns()
         self._perf0 = time.perf_counter_ns()
         self.metrics = MetricsRegistry()
@@ -142,39 +167,72 @@ class Recorder:
         """Raw ``perf_counter_ns`` start mark for :meth:`complete`."""
         return time.perf_counter_ns()
 
-    def complete(self, name: str, start_ns: int, **attrs: Any) -> None:
+    def complete(self, name: str, start_ns: int, **attrs: Any) -> int:
         """Record a span opened at *start_ns* (from :meth:`now`) ending now.
 
         This is the loop-friendly form: no context-manager object per
-        batch, just one timestamp before and one call after.
+        batch, just one timestamp before and one call after.  Returns
+        the wall duration in nanoseconds so callers can feed the same
+        measurement into a histogram without a second clock read.
         """
         t1 = time.perf_counter_ns()
-        self._events.append(
-            {
-                "name": name,
-                "ph": "X",
-                "ts": self._epoch_ns + (start_ns - self._perf0),
-                "dur": t1 - start_ns,
-                "cpu": 0,
-                "depth": self._depth,
-                "pid": self.pid,
-                "args": attrs,
-            }
-        )
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        stack = self._sid_stack
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": self._epoch_ns + (start_ns - self._perf0),
+            "dur": t1 - start_ns,
+            "cpu": 0,
+            "depth": self._depth,
+            "pid": self.pid,
+            "sid": sid,
+            "parent": stack[-1] if stack else None,
+            "args": attrs,
+        }
+        self._events.append(event)
+        if _SINK is not None:
+            _SINK(event)
+        return t1 - start_ns
 
     def instant(self, name: str, **attrs: Any) -> None:
-        self._events.append(
-            {
-                "name": name,
-                "ph": "i",
-                "ts": self._epoch_ns + (time.perf_counter_ns() - self._perf0),
-                "dur": 0,
-                "cpu": 0,
-                "depth": self._depth,
-                "pid": self.pid,
-                "args": attrs,
-            }
-        )
+        stack = self._sid_stack
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": self._epoch_ns + (time.perf_counter_ns() - self._perf0),
+            "dur": 0,
+            "cpu": 0,
+            "depth": self._depth,
+            "pid": self.pid,
+            "parent": stack[-1] if stack else None,
+            "args": attrs,
+        }
+        self._events.append(event)
+        if _SINK is not None:
+            _SINK(event)
+
+    def counter_sample(self, name: str, value: float) -> None:
+        """Record a timestamped gauge reading (Chrome-trace phase ``C``).
+
+        Samples render as counter tracks in the trace viewer; the
+        resource sampler emits RSS / CPU% / GC / queue-depth series
+        through this.
+        """
+        event = {
+            "name": name,
+            "ph": "C",
+            "ts": self._epoch_ns + (time.perf_counter_ns() - self._perf0),
+            "dur": 0,
+            "cpu": 0,
+            "depth": 0,
+            "pid": self.pid,
+            "args": {"value": value},
+        }
+        self._events.append(event)
+        if _SINK is not None:
+            _SINK(event)
 
     # -- access ----------------------------------------------------
 
@@ -196,7 +254,12 @@ class Recorder:
         Returns ``None`` when there is nothing to ship.
         """
         snap = self.metrics.snapshot()
-        if not self._events and not snap["counters"] and not snap["gauges"]:
+        if (
+            not self._events
+            and not snap["counters"]
+            and not snap["gauges"]
+            and not snap["hists"]
+        ):
             return None
         blob = {"events": self._events, **snap}
         self._events = []
@@ -204,11 +267,21 @@ class Recorder:
         return blob
 
     def absorb(self, blob: Optional[Dict[str, Any]]) -> None:
-        """Merge a worker's :meth:`drain_blob` output into this buffer."""
+        """Merge a worker's :meth:`drain_blob` output into this buffer.
+
+        Worker events land in the parent buffer verbatim (they already
+        carry the worker pid) without re-emitting to the event-log sink
+        — the worker's own sink wrote them as they happened.
+        """
         if not blob:
             return
         self._events.extend(blob.get("events", ()))
-        self.metrics.merge(blob.get("counters"), blob.get("gauges"))
+        self.metrics.merge(
+            blob.get("counters"),
+            blob.get("gauges"),
+            blob.get("hists"),
+            blob.get("gauge_policies"),
+        )
 
 
 # -- process-global enablement ------------------------------------------
@@ -216,12 +289,36 @@ class Recorder:
 _RECORDER: Optional[Recorder] = None
 _ENV_CHECKED = False
 
+#: Optional per-event callback (the JSONL event log).  Called with each
+#: event dict right after it is buffered; installed/cleared by
+#: :mod:`repro.obs.log` via :func:`set_event_sink`.
+_SINK = None
+
+
+def set_event_sink(sink) -> None:
+    """Install (or clear, with ``None``) the per-event callback."""
+    global _SINK
+    _SINK = sink
+
+
+def _maybe_adopt_log() -> None:
+    """Arm the JSONL event log if ``REPRO_LOG`` is exported.
+
+    Lazy import: :mod:`repro.obs.log` imports this module at top level,
+    so the dependency must point one way only.
+    """
+    if os.environ.get("REPRO_LOG"):
+        from repro.obs import log as _log
+
+        _log.adopt_in_process()
+
 
 def _adopt_from_env() -> Optional[Recorder]:
     global _RECORDER, _ENV_CHECKED
     _ENV_CHECKED = True
-    if os.environ.get(ENV_VAR):
+    if os.environ.get(ENV_VAR) or os.environ.get("REPRO_LOG"):
         _RECORDER = Recorder()
+        _maybe_adopt_log()
     return _RECORDER
 
 
@@ -267,19 +364,36 @@ def adopt_in_worker() -> Optional[Recorder]:
     """
     global _RECORDER, _ENV_CHECKED
     _ENV_CHECKED = True
-    if _RECORDER is not None or os.environ.get(ENV_VAR):
+    if (
+        _RECORDER is not None
+        or os.environ.get(ENV_VAR)
+        or os.environ.get("REPRO_LOG")
+    ):
         _RECORDER = Recorder()
+        _maybe_adopt_log()
     else:
         _RECORDER = None
     return _RECORDER
 
 
 def disable() -> None:
-    """Disarm tracing and drop the buffer; clears ``REPRO_TRACE``."""
-    global _RECORDER, _ENV_CHECKED
+    """Disarm tracing and drop the buffer; clears ``REPRO_TRACE``.
+
+    Also shuts down the JSONL event log if one is armed (closing its
+    file and clearing ``REPRO_LOG`` / ``REPRO_RUN_ID``) so a single
+    ``disable()`` returns the process to the fully-dark state tests
+    expect.
+    """
+    global _RECORDER, _ENV_CHECKED, _SINK
+    _log = sys.modules.get("repro.obs.log")
+    if _log is not None:
+        _log.disable()
     _RECORDER = None
     _ENV_CHECKED = False
+    _SINK = None
     os.environ.pop(ENV_VAR, None)
+    os.environ.pop("REPRO_LOG", None)
+    os.environ.pop("REPRO_RUN_ID", None)
 
 
 class capture:
@@ -330,11 +444,18 @@ def inc(name: str, n: int = 1) -> None:
         rec.metrics.inc(name, n)
 
 
-def gauge(name: str, value: float) -> None:
-    """Set a last-value-wins gauge; no-op when tracing is off."""
+def gauge(name: str, value: float, policy: Optional[str] = None) -> None:
+    """Set a gauge (optionally fixing its merge policy); no-op when off."""
     rec = active()
     if rec is not None:
-        rec.metrics.gauge(name, value)
+        rec.metrics.gauge(name, value, policy)
+
+
+def hist(name: str, value: float) -> None:
+    """Record one histogram observation; no-op when tracing is off."""
+    rec = active()
+    if rec is not None:
+        rec.metrics.hist(name, value)
 
 
 def warn_event(warning: Warning, *, stacklevel: int = 2, **attrs: Any) -> None:
@@ -380,8 +501,10 @@ def chrome_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             ev["dur"] = e["dur"] / 1000.0
             if e.get("cpu"):
                 ev["args"]["cpu_ms"] = round(e["cpu"] / 1e6, 3)
-        else:
+        elif e["ph"] == "i":
             ev["s"] = "t"
+        # ph "C" counter samples pass through with args={"value": v},
+        # which the viewer renders as a counter track per name.
         out.append(ev)
     for pid in sorted(pids):
         out.append(
@@ -459,7 +582,7 @@ TRACE_SCHEMA: Dict[str, Any] = {
                 "required": ["name", "ph", "ts", "pid", "tid"],
                 "properties": {
                     "name": {"type": "string"},
-                    "ph": {"enum": ["X", "i", "M"]},
+                    "ph": {"enum": ["X", "i", "M", "C"]},
                     "ts": {"type": "number"},
                     "dur": {"type": "number"},
                     "pid": {"type": "integer"},
@@ -532,7 +655,8 @@ def format_tree(
     ``<indent><name> <dur>ms [pid N] key=value ...``.  Spans shorter
     than *min_ms* are folded away (their children too).
     """
-    evs = sorted(events, key=lambda e: (e["ts"], -e["dur"]))
+    evs = [e for e in events if e["ph"] in ("X", "i")]
+    evs.sort(key=lambda e: (e["ts"], -e["dur"]))
     pids = {e["pid"] for e in evs}
     lines: List[str] = []
     hidden_below: Dict[int, int] = {}

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -41,6 +42,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuits.catalog import build_named_circuit, validate_name
 from repro.obs import trace as obs
+from repro.obs.hist import Histogram
 from repro.service.pool import RetryPolicy, TaskFailure, run_supervised
 from repro.service.runner import estimate_key, run_key
 from repro.service.store import (
@@ -502,6 +504,101 @@ def run_circuit_tasks(
     return payloads
 
 
+class Heartbeat:
+    """Periodic one-line progress report for a long sweep.
+
+    Owns its own :class:`~repro.obs.hist.Histogram` of per-task
+    latencies, so it works (and prints meaningful p50/p99) whether or
+    not tracing is armed.  Wire :meth:`record` in as the pool's
+    ``on_progress`` callback; cache hits are credited with
+    :meth:`record_hit` at plan time.  Emission is interval-gated
+    (``interval_s=0`` prints on every resolution) and goes to *out*
+    (default ``sys.stderr``) so it never corrupts piped stdout.
+
+    The ETA is the remaining-point count times the mean observed task
+    latency, divided by the worker count — a deliberately simple
+    model that is exact for homogeneous points and an honest rough cut
+    for mixed sweeps.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        interval_s: float = 10.0,
+        out=None,
+        workers: int | None = None,
+    ) -> None:
+        self.total = total
+        self.interval_s = interval_s
+        self.out = out if out is not None else sys.stderr
+        self.workers = max(1, workers or 1)
+        self.done = 0
+        self.hits = 0
+        self.failed = 0
+        self.latency = Histogram()
+        self._last_emit: float | None = None
+
+    def record_hit(self) -> None:
+        """Credit one cache hit (resolved with zero compute)."""
+        self.hits += 1
+        self.done += 1
+        self._maybe_emit()
+
+    def record(self, status: str, latency_s: float | None = None) -> None:
+        """Pool ``on_progress`` hook: one task resolved.
+
+        *status* is ``"done"`` or ``"failed"``; *latency_s*, when
+        known, feeds the latency histogram behind p50/p99 and the ETA.
+        """
+        self.done += 1
+        if status == "failed":
+            self.failed += 1
+        if latency_s is not None and latency_s >= 0.0:
+            self.latency.observe(latency_s)
+        self._maybe_emit()
+
+    def line(self) -> str:
+        """The current progress line (without emitting it)."""
+        parts = [f"[heartbeat] {self.done}/{self.total} points"]
+        warm = (self.hits / self.done) if self.done else 0.0
+        parts.append(f"warm-hit {warm * 100:.0f}%")
+        if self.latency.count:
+            parts.append(
+                f"p50 {self.latency.percentile(50):.3f}s"
+                f"/p99 {self.latency.percentile(99):.3f}s task"
+            )
+            remaining = max(0, self.total - self.done)
+            mean = self.latency.total / self.latency.count
+            parts.append(
+                f"ETA {remaining * mean / self.workers:.1f}s"
+            )
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        return ", ".join(parts)
+
+    def _maybe_emit(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if (
+            not force
+            and self._last_emit is not None
+            and (now - self._last_emit) < self.interval_s
+        ):
+            return
+        self._last_emit = now
+        print(self.line(), file=self.out, flush=True)
+
+    def finish(self, done: int | None = None) -> None:
+        """Force a final line; *done* corrects the resolved count.
+
+        Key-shared sweeps resolve several points per computed slot, so
+        the per-slot ticks undercount mid-run; the scheduler passes the
+        exact outcome count here for the closing line.
+        """
+        if done is not None:
+            self.done = done
+        self._maybe_emit(force=True)
+
+
 class BatchScheduler:
     """Fan a :class:`JobSpec`'s points out over workers, through the store.
 
@@ -573,8 +670,19 @@ class BatchScheduler:
                 hits.append((point, payload))
         return hits, misses
 
-    def run(self, spec: JobSpec, job_id: str | None = None) -> BatchReport:
+    def run(
+        self,
+        spec: JobSpec,
+        job_id: str | None = None,
+        heartbeat_s: float | None = None,
+        heartbeat_out=None,
+    ) -> BatchReport:
         """Execute *spec*: serve hits, simulate misses, persist results.
+
+        *heartbeat_s* (when not ``None``) prints an interval-gated
+        :class:`Heartbeat` progress line — done/total, warm-hit ratio,
+        p50/p99 task latency, ETA — to *heartbeat_out* (default
+        ``sys.stderr``); ``0`` prints on every resolved point.
 
         Partial-hit resume falls out of the plan: only points missing
         from the store reach the worker pool.  Misses that share one
@@ -598,7 +706,10 @@ class BatchScheduler:
             circuit=getattr(spec, "circuit", "?"),
             points=len(points),
         ):
-            return self._run_planned(spec, job_id, start, points)
+            return self._run_planned(
+                spec, job_id, start, points,
+                heartbeat_s=heartbeat_s, heartbeat_out=heartbeat_out,
+            )
 
     def _run_planned(
         self,
@@ -606,15 +717,26 @@ class BatchScheduler:
         job_id: str | None,
         start: float,
         points: List[JobPoint],
+        heartbeat_s: float | None = None,
+        heartbeat_out=None,
     ) -> BatchReport:
         with obs.span("jobs.plan", points=len(points)):
             hits, misses = self._plan(points)
+        heartbeat = None
+        if heartbeat_s is not None:
+            heartbeat = Heartbeat(
+                total=len(points), interval_s=heartbeat_s,
+                out=heartbeat_out, workers=self.processes,
+            )
         outcomes: Dict[JobPoint, PointOutcome] = {}
         for point, payload in hits:
             outcomes[point] = PointOutcome(
                 point, "hit", payload_summary(payload)
             )
             obs.instant("jobs.point", label=point.label(), outcome="hit")
+        if heartbeat is not None:
+            for _ in hits:
+                heartbeat.record_hit()
 
         # Collapse key-identical misses to one computation each (keys
         # exist only when a store is configured; without one every
@@ -645,6 +767,7 @@ class BatchScheduler:
             _compute_point, docs,
             processes=processes, policy=self.policy,
             keys=site_keys, labels=labels,
+            on_progress=heartbeat.record if heartbeat is not None else None,
         )
         computed = pool_result.payloads
         # Salvage first: persist everything that finished before any
@@ -673,6 +796,8 @@ class BatchScheduler:
             # else: unresolved at interrupt time — not part of the
             # (partial) report at all.
 
+        if heartbeat is not None:
+            heartbeat.finish(done=len(outcomes))
         report = BatchReport(
             job_id=job_id or _new_job_id(spec, self.store),
             outcomes=[outcomes[p] for p in points if p in outcomes],

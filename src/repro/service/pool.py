@@ -43,11 +43,45 @@ import hashlib
 import multiprocessing
 import queue as queue_mod
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import sampler as obs_sampler
 from repro.obs import trace as obs
 from repro.service import faults
+
+#: Histogram names the pool feeds (see the README taxonomy table).
+#: ``task_latency_s`` is supervisor-side dispatch→result (includes IPC
+#: and pickling); ``exec_s`` is the worker-side wall around the task
+#: function; ``queue_wait_s`` is ready→dispatch; ``retry_backoff_s``
+#: is every computed backoff delay.
+HIST_TASK_LATENCY = "pool.task_latency_s"
+HIST_EXEC = "pool.exec_s"
+HIST_QUEUE_WAIT = "pool.queue_wait_s"
+HIST_RETRY_BACKOFF = "pool.retry_backoff_s"
+
+
+@contextmanager
+def observe_task(key: str, **attrs: Any):
+    """Charge one in-process unit of work with pool task telemetry.
+
+    Single-run paths that never reach the pool (``cached_run`` misses,
+    direct experiment drivers) wrap their compute step with this so a
+    run's manifest carries the same ``pool.task`` span and task-latency
+    histogram a sweep would — one taxonomy for "how long did a unit of
+    work take", whether it fanned out or ran inline.
+    """
+    rec = obs.active()
+    if rec is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    with rec.span("pool.task", key=key, attempt=0, **attrs):
+        yield
+    wall = time.perf_counter() - t0
+    rec.metrics.hist(HIST_TASK_LATENCY, wall)
+    rec.metrics.hist(HIST_EXEC, wall)
 
 
 def _jitter_fraction(seed: int, key: str, attempt: int) -> float:
@@ -193,11 +227,13 @@ def _worker_main(worker_id: int, func: Callable, conn, result_q) -> None:
         try:
             faults.worker_faults(key, attempt)
             if rec is not None:
+                t0 = time.perf_counter()
                 with rec.span(
                     "pool.task", key=key, attempt=attempt,
                     worker=worker_id,
                 ):
                     payload = func(item)
+                rec.metrics.hist(HIST_EXEC, time.perf_counter() - t0)
             else:
                 payload = func(item)
         except KeyboardInterrupt:
@@ -236,6 +272,7 @@ class _Worker:
         recv_end.close()  # child's end; the parent only sends
         self.busy: Optional[_TaskState] = None
         self.deadline: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
 
     def dispatch(
         self, state: _TaskState, item: Any, timeout_s: Optional[float]
@@ -245,14 +282,16 @@ class _Worker:
         except (BrokenPipeError, OSError):
             return False
         self.busy = state
+        self.dispatched_at = time.monotonic()
         self.deadline = (
-            None if timeout_s is None else time.monotonic() + timeout_s
+            None if timeout_s is None else self.dispatched_at + timeout_s
         )
         return True
 
     def idle(self) -> None:
         self.busy = None
         self.deadline = None
+        self.dispatched_at = None
 
     def alive(self) -> bool:
         return self.proc.is_alive()
@@ -296,6 +335,7 @@ def run_supervised(
     policy: Optional[RetryPolicy] = None,
     keys: Optional[Sequence[str]] = None,
     labels: Optional[Sequence[str]] = None,
+    on_progress: Optional[Callable[[str, Optional[float]], None]] = None,
 ) -> PoolResult:
     """Run ``func(item)`` for every item under supervision.
 
@@ -309,6 +349,11 @@ def run_supervised(
     jitter and fault-injection decisions (defaults to a content hash
     of each item); *labels* are human-readable names for failure
     records.
+
+    *on_progress*, if given, is called in the supervisor once per task
+    resolution with ``("done", latency_s)`` when a payload lands or
+    ``("failed", None)`` when a task quarantines — the scheduler's
+    heartbeat line is driven from this, independent of tracing.
     """
     policy = policy or RetryPolicy()
     items = list(items)
@@ -325,24 +370,32 @@ def run_supervised(
         return PoolResult(payloads=[])
 
     if not processes or processes <= 1 or n == 1:
-        return _run_sequential(func, items, policy, keys, labels)
+        return _run_sequential(
+            func, items, policy, keys, labels, on_progress
+        )
     return _run_pool(
-        func, items, min(processes, n), policy, keys, labels
+        func, items, min(processes, n), policy, keys, labels, on_progress
     )
 
 
 def _run_sequential(
-    func, items, policy: RetryPolicy, keys, labels
+    func, items, policy: RetryPolicy, keys, labels, on_progress=None
 ) -> PoolResult:
     result = PoolResult(payloads=[None] * len(items))
     for i, item in enumerate(items):
         state = _TaskState(index=i, key=keys[i], label=labels[i])
         while True:
             try:
+                t0 = time.perf_counter()
                 with obs.span(
                     "pool.task", key=state.key, attempt=state.attempt
                 ):
                     result.payloads[i] = func(item)
+                wall = time.perf_counter() - t0
+                obs.hist(HIST_TASK_LATENCY, wall)
+                obs.hist(HIST_EXEC, wall)
+                if on_progress is not None:
+                    on_progress("done", wall)
                 break
             except KeyboardInterrupt:
                 result.interrupted = True
@@ -363,6 +416,8 @@ def _run_sequential(
                         "pool.quarantine", key=state.key, kind="error",
                         attempts=state.attempt,
                     )
+                    if on_progress is not None:
+                        on_progress("failed", None)
                     break
                 result.n_retries += 1
                 obs.inc("pool.retry")
@@ -371,6 +426,7 @@ def _run_sequential(
                     attempt=state.attempt,
                 )
                 delay = policy.backoff_s(state.key, state.attempt - 1)
+                obs.hist(HIST_RETRY_BACKOFF, delay)
                 if delay > 0:
                     try:
                         time.sleep(delay)
@@ -381,7 +437,8 @@ def _run_sequential(
 
 
 def _run_pool(
-    func, items, n_workers: int, policy: RetryPolicy, keys, labels
+    func, items, n_workers: int, policy: RetryPolicy, keys, labels,
+    on_progress=None,
 ) -> PoolResult:
     result = PoolResult(payloads=[None] * len(items))
     result_q: multiprocessing.Queue = multiprocessing.Queue()
@@ -395,14 +452,22 @@ def _run_pool(
         workers.append(w)
         return w
 
+    start = time.monotonic()
     #: (ready_at, _TaskState) waiting to be dispatched.
     pending: List[tuple] = [
-        (0.0, _TaskState(index=i, key=keys[i], label=labels[i]))
+        (start, _TaskState(index=i, key=keys[i], label=labels[i]))
         for i in range(len(items))
     ]
     #: index -> attempt currently outstanding (stale results ignored).
     outstanding: Dict[int, int] = {}
     unresolved = len(items)
+
+    # Backlog = tasks waiting to dispatch plus tasks in flight; gauged
+    # as a high-water mark and exposed live to the resource sampler.
+    def _depth() -> int:
+        return len(pending) + len(outstanding)
+
+    obs_sampler.register_probe("pool.queue_depth", _depth)
 
     def fail_or_retry(state: _TaskState, kind: str, error: str) -> None:
         nonlocal unresolved
@@ -421,27 +486,29 @@ def _run_pool(
                 attempts=state.attempt,
             )
             unresolved -= 1
+            if on_progress is not None:
+                on_progress("failed", None)
             return
         result.n_retries += 1
         obs.inc("pool.retry")
         obs.instant(
             "pool.retry", key=state.key, kind=kind, attempt=state.attempt,
         )
-        ready = time.monotonic() + policy.backoff_s(
-            state.key, state.attempt - 1
-        )
-        pending.append((ready, state))
+        backoff = policy.backoff_s(state.key, state.attempt - 1)
+        obs.hist(HIST_RETRY_BACKOFF, backoff)
+        pending.append((time.monotonic() + backoff, state))
 
     try:
         for _ in range(n_workers):
             spawn()
         while unresolved > 0:
             now = time.monotonic()
+            obs.gauge("pool.queue_depth", _depth())
             # Dispatch every ready pending task to an idle live worker.
             idle = [w for w in workers if w.busy is None and w.alive()]
             pending.sort(key=lambda rs: rs[0])
             while idle and pending and pending[0][0] <= now:
-                _, state = pending.pop(0)
+                ready_at, state = pending.pop(0)
                 w = idle.pop()
                 if not w.dispatch(
                     state, items[state.index], policy.timeout_s
@@ -451,6 +518,9 @@ def _run_pool(
                     continue
                 outstanding[state.index] = state.attempt
                 obs.inc("pool.dispatch")
+                obs.hist(
+                    HIST_QUEUE_WAIT, max(0.0, w.dispatched_at - ready_at)
+                )
                 obs.instant(
                     "pool.dispatch", key=state.key,
                     attempt=state.attempt, worker=w.id,
@@ -481,14 +551,23 @@ def _run_pool(
                 if w is not None and w.busy is not None \
                         and w.busy.index == index:
                     state = w.busy
+                    latency = (
+                        None if w.dispatched_at is None
+                        else time.monotonic() - w.dispatched_at
+                    )
                     w.idle()
                 else:
                     state = None
+                    latency = None
                 if outstanding.get(index) == attempt:
                     del outstanding[index]
                     if ok:
                         result.payloads[index] = payload
                         unresolved -= 1
+                        if latency is not None:
+                            obs.hist(HIST_TASK_LATENCY, latency)
+                        if on_progress is not None:
+                            on_progress("done", latency)
                     elif state is not None:
                         fail_or_retry(state, "error", str(payload))
                     else:  # pragma: no cover - crash right after report
@@ -562,6 +641,7 @@ def _run_pool(
             w.conn.close()
         workers.clear()
     finally:
+        obs_sampler.unregister_probe("pool.queue_depth")
         for w in workers:
             w.shutdown()
         result_q.close()

@@ -288,11 +288,22 @@ def cached_run(
                     payload, circuit, run.delay_description
                 )
     if result is None:
+        # A cache miss is one unit of compute work; charge it with the
+        # pool's task telemetry (span + task-latency histogram) so a
+        # single-run experiment's manifest reports latencies in the
+        # same taxonomy a pooled sweep does.  (A sharded run fans out
+        # through the supervised pool internally and meters its shards
+        # on top of this inline span.)
+        from repro.service.pool import observe_task
+
         vectors = stimulus.vectors(stim, n_vectors + 1)
-        if shards > 1:
-            result = run.run_sharded(vectors, shards, processes=processes)
-        else:
-            result = run.run(vectors)
+        with observe_task(key.digest()[:16], source="cached_run"):
+            if shards > 1:
+                result = run.run_sharded(
+                    vectors, shards, processes=processes
+                )
+            else:
+                result = run.run(vectors)
         if store is not None:
             store.put(key, encode_result(result))
     if monitor is not None:

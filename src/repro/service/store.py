@@ -705,10 +705,14 @@ class ResultStore:
             self.misses += 1
             obs.inc("store.miss")
             return None
+        rt0 = time.perf_counter()
         with obs.span("store.read", digest=digest[:12]):
             payload = self._read_object(entry)
+        obs.hist("store.read_s", time.perf_counter() - rt0)
         if payload is None:
+            ht0 = time.perf_counter()
             self._drop_entry(digest, unlink=True)
+            obs.hist("store.self_heal_s", time.perf_counter() - ht0)
             obs.instant("store.self_heal", digest=digest[:12])
             obs.inc("store.self_heal")
             self.misses += 1
@@ -739,11 +743,13 @@ class ResultStore:
             # corrupt_payload models storage corrupting the bytes
             # *after* the checksum was recorded — exactly the torn
             # write / bit flip the read-side verification must catch.
+            wt0 = time.perf_counter()
             with obs.span("store.write", digest=digest[:12], bytes=len(data)):
                 _atomic_write(
                     self._object_path(digest),
                     faults.corrupt_payload(data, key=digest),
                 )
+            obs.hist("store.write_s", time.perf_counter() - wt0)
         except OSError as exc:
             obs.warn_event(
                 StoreWriteWarning(

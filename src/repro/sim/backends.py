@@ -206,7 +206,10 @@ class EventDrivenBackend:
         stats.final_values = list(sim.values)
         stats.final_ff_state = dict(sim.ff_state)
         if rec is not None:
-            rec.complete("sim.batch", t0, backend="event", cycles=stats.cycles)
+            dur = rec.complete(
+                "sim.batch", t0, backend="event", cycles=stats.cycles
+            )
+            rec.metrics.hist("sim.batch_s", dur / 1e9)
             rec.metrics.inc("sim.vectors", stats.cycles)
             rec.metrics.inc(
                 "sim.cell_evals", stats.cycles * len(self.circuit.cells)
@@ -363,9 +366,10 @@ class BitParallelBackend:
                 values[net] = (net_bits[net] >> top) & 1
             stats.cycles += nbits
             if rec is not None:
-                rec.complete(
+                dur = rec.complete(
                     "sim.batch", bt0, backend=self.name, cycles=nbits
                 )
+                rec.metrics.hist("sim.batch_s", dur / 1e9)
                 rec.metrics.inc("sim.vectors", nbits)
                 rec.metrics.inc("sim.cell_evals", nbits * n_cells)
 

@@ -412,7 +412,10 @@ class VectorBackend:
                     ff_state[ci] = int(q_top[i])
             cycles += nb
             if rec is not None:
-                rec.complete("sim.batch", bt0, backend=self.name, cycles=nb)
+                dur = rec.complete(
+                    "sim.batch", bt0, backend=self.name, cycles=nb
+                )
+                rec.metrics.hist("sim.batch_s", dur / 1e9)
                 rec.metrics.inc("sim.vectors", nb)
                 rec.metrics.inc("sim.cell_evals", nb * n_cells)
 
@@ -535,7 +538,10 @@ class VectorBackend:
                     ff_state[ci] = int(q_top[i])
             cycles += nb
             if rec is not None:
-                rec.complete("sim.batch", bt0, backend=self.name, cycles=nb)
+                dur = rec.complete(
+                    "sim.batch", bt0, backend=self.name, cycles=nb
+                )
+                rec.metrics.hist("sim.batch_s", dur / 1e9)
                 rec.metrics.inc("sim.vectors", nb)
                 rec.metrics.inc("sim.cell_evals", nb * n_cells)
 

@@ -352,7 +352,10 @@ class WaveformBackend:
                 ff_state[ci] = (q_lanes[i] >> top) & 1
             cycles += nb
             if rec is not None:
-                rec.complete("sim.batch", bt0, backend="waveform", cycles=nb)
+                dur = rec.complete(
+                    "sim.batch", bt0, backend="waveform", cycles=nb
+                )
+                rec.metrics.hist("sim.batch_s", dur / 1e9)
                 rec.metrics.inc("sim.vectors", nb)
                 rec.metrics.inc("sim.cell_evals", nb * n_cells)
 

@@ -1,0 +1,157 @@
+"""Histogram distribution guarantees: exactness, merge laws, error bounds.
+
+The log-bucketed :class:`~repro.obs.hist.Histogram` backs every latency
+distribution in the telemetry layer, and the worker pool merges worker
+histograms into the supervisor's, so the properties proven here are
+load-bearing for everything ``--metrics`` and the manifests report:
+
+* ``count``/``sum``/``min``/``max`` are **exact** regardless of how the
+  observations were split across processes before merging;
+* merge is associative and commutative (bucket-wise addition), so the
+  supervisor's aggregate is independent of worker scheduling order;
+* ``percentile`` lands in the right bucket: the reported quantile is
+  within one sub-bucket (a factor of ``2**(1/8)``, about 9%) of a true
+  order-statistic of the data, and always inside ``[min, max]``.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.hist import SUBBUCKETS, Histogram
+
+# Positive latencies across ten orders of magnitude, plus exact zeros.
+values = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-7, max_value=1e3, allow_nan=False,
+              allow_infinity=False),
+)
+value_lists = st.lists(values, min_size=1, max_size=60)
+
+
+def hist_of(vals):
+    h = Histogram()
+    for v in vals:
+        h.observe(v)
+    return h
+
+
+class TestExactness:
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_count_sum_min_max_exact(self, vals):
+        h = hist_of(vals)
+        assert h.count == len(vals)
+        assert h.total == pytest.approx(sum(vals))
+        assert h.min == min(vals)
+        assert h.max == max(vals)
+
+    @given(value_lists, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_split_then_merge_is_exact(self, vals, cut):
+        """Any split of the stream merges back to the unsplit result."""
+        cut = min(cut, len(vals))
+        whole = hist_of(vals)
+        left, right = hist_of(vals[:cut]), hist_of(vals[cut:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        assert left.min == whole.min
+        assert left.max == whole.max
+        assert left.buckets == whole.buckets
+        assert left.zeros == whole.zeros
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1e-9)
+
+
+class TestMergeLaws:
+    @given(value_lists, value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_commutative(self, a_vals, b_vals):
+        ab = hist_of(a_vals)
+        ab.merge(hist_of(b_vals))
+        ba = hist_of(b_vals)
+        ba.merge(hist_of(a_vals))
+        assert ab.buckets == ba.buckets
+        assert ab.count == ba.count
+        assert ab.min == ba.min and ab.max == ba.max
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_associative(self, a_vals, b_vals, c_vals):
+        left = hist_of(a_vals)
+        left.merge(hist_of(b_vals))
+        left.merge(hist_of(c_vals))
+        bc = hist_of(b_vals)
+        bc.merge(hist_of(c_vals))
+        right = hist_of(a_vals)
+        right.merge(bc)
+        assert left.buckets == right.buckets
+        assert left.count == right.count
+        assert left.total == pytest.approx(right.total)
+
+    def test_merge_empty_is_identity(self):
+        h = hist_of([0.5, 2.0])
+        before = h.to_dict()
+        h.merge(Histogram())
+        assert h.to_dict() == before
+
+
+class TestPercentile:
+    @given(st.lists(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=60,
+    ), st.sampled_from([1, 25, 50, 75, 90, 99, 100]))
+    @settings(max_examples=80, deadline=None)
+    def test_within_one_subbucket_of_true_quantile(self, vals, p):
+        h = hist_of(vals)
+        got = h.percentile(p)
+        rank = max(0, math.ceil(len(vals) * p / 100.0) - 1)
+        true = sorted(vals)[rank]
+        assert h.min <= got <= h.max
+        if true > 0 and got > 0:
+            # Same (or adjacent, via min/max clamping) log bucket:
+            # relative error bounded by one sub-bucket width.
+            assert abs(math.log2(got / true)) * SUBBUCKETS <= 1.0 + 1e-9
+
+    def test_zeros_rank_below_everything(self):
+        h = hist_of([0.0, 0.0, 0.0, 10.0])
+        assert h.percentile(50) == 0.0
+        assert h.percentile(100) == 10.0
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(50) is None
+        assert h.summary()["count"] == 0
+
+    @given(st.lists(
+        st.floats(min_value=1e-6, max_value=1e3, allow_nan=False,
+                  allow_infinity=False),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_extremes_are_exact(self, vals):
+        h = hist_of(vals)
+        assert h.percentile(100) == max(vals)
+        assert h.percentile(0) == min(vals)
+
+
+class TestSerialization:
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_dict_round_trip(self, vals):
+        h = hist_of(vals)
+        clone = Histogram.from_dict(json.loads(json.dumps(h.to_dict())))
+        assert clone.buckets == h.buckets
+        assert clone.count == h.count
+        assert clone.percentile(99) == h.percentile(99)
+
+    def test_summary_keys(self):
+        s = hist_of([0.001, 0.01, 0.1]).summary()
+        assert set(s) >= {"count", "sum", "min", "max", "mean",
+                          "p50", "p90", "p99"}
